@@ -1,0 +1,10 @@
+"""S5 — §5: the attack x target robustness matrix."""
+
+from repro.analysis.experiments import experiment_attacks
+
+
+def test_bench_attacks(benchmark, emit):
+    result = benchmark.pedantic(experiment_attacks, rounds=1, iterations=1)
+    assert result.facts["tpnr_defense_holds"]
+    assert result.facts["weakened_all_fall"]
+    emit(result)

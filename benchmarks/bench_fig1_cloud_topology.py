@@ -1,0 +1,9 @@
+"""F1 — Fig. 1: the cloud principle (clients -> Internet -> services)."""
+
+from repro.analysis.experiments import experiment_fig1
+
+
+def test_bench_fig1(benchmark, emit):
+    result = benchmark(experiment_fig1)
+    assert result.facts["all_answered"]
+    emit(result)

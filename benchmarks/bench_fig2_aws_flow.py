@@ -1,0 +1,9 @@
+"""F2 — Fig. 2: the AWS Import/Export manifest/signature/shipping flow."""
+
+from repro.analysis.experiments import experiment_fig2
+
+
+def test_bench_fig2(benchmark, emit):
+    result = benchmark.pedantic(experiment_fig2, rounds=2, iterations=1)
+    assert result.facts["all_jobs_completed"]
+    emit(result)

@@ -1,0 +1,11 @@
+"""F3 — Fig. 3: the Azure secure data access procedure."""
+
+from repro.analysis.experiments import experiment_fig3
+
+
+def test_bench_fig3(benchmark, emit):
+    result = benchmark(experiment_fig3)
+    assert result.facts["round_trip_ok"]
+    assert result.facts["wrong_key_rejected"]
+    assert result.facts["secret_key_bits"] == 256
+    emit(result)

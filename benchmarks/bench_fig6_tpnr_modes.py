@@ -1,0 +1,37 @@
+"""F6 — Fig. 6: the four TPNR work flows (Normal/Abort/Resolve/Dispute)."""
+
+from repro.analysis.diagram import sequence_diagram
+from repro.analysis.experiments import experiment_fig6
+from repro.core import ProviderBehavior, make_deployment, run_abort, run_upload
+
+
+def _flow_diagrams() -> str:
+    """Sequence charts mirroring Fig. 6(b) and 6(c)."""
+    sections = []
+    dep = make_deployment(seed=b"f6-diagram-normal")
+    run_upload(dep, b"normal payload")
+    sections.append("Fig. 6(b) Normal mode (off-line TTP):\n" + sequence_diagram(
+        dep.network.trace, "tpnr.", participants=["alice", "bob", "ttp"], show_time=False))
+    dep_a = make_deployment(seed=b"f6-diagram-abort",
+                            behavior=ProviderBehavior(silent_on_upload=True))
+    run_abort(dep_a, b"abort payload")
+    sections.append("Fig. 6(b) Abort mode (off-line TTP):\n" + sequence_diagram(
+        dep_a.network.trace, "tpnr.", participants=["alice", "bob", "ttp"], show_time=False))
+    dep_r = make_deployment(seed=b"f6-diagram-resolve",
+                            behavior=ProviderBehavior(silent_on_upload=True))
+    run_upload(dep_r, b"resolve payload")
+    sections.append("Fig. 6(c) Resolve mode (in-line TTP):\n" + sequence_diagram(
+        dep_r.network.trace, "tpnr.", participants=["alice", "bob", "ttp"], show_time=False))
+    return "\n\n".join(sections)
+
+
+def test_bench_fig6(benchmark, emit):
+    result = benchmark.pedantic(experiment_fig6, rounds=2, iterations=1)
+    assert result.facts["normal_steps"] == 2
+    assert result.facts["normal_offline_ttp"]
+    assert result.facts["abort_status"] == "aborted"
+    assert result.facts["abort_offline_ttp"]
+    assert result.facts["resolve_status"] == "resolved"
+    assert result.facts["resolve_inline_ttp"]
+    assert result.facts["dispute_verdict"] == "provider-at-fault"
+    emit(result, extra="\n" + _flow_diagrams())

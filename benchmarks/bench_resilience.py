@@ -1,0 +1,11 @@
+"""R1 — extension: resilience of TPNR outcomes to message loss."""
+
+from repro.analysis.experiments import experiment_resilience
+
+
+def test_bench_resilience(benchmark, emit):
+    result = benchmark.pedantic(experiment_resilience, rounds=1, iterations=1)
+    assert result.facts["all_terminated"]
+    assert result.facts["lossless_perfect"]
+    assert result.facts["monotone_pressure"]
+    emit(result)

@@ -1,0 +1,12 @@
+"""W1 — extension: multi-client scalability under concurrent load."""
+
+from repro.analysis.experiments import experiment_scalability
+
+
+def test_bench_scalability(benchmark, emit):
+    result = benchmark.pedantic(experiment_scalability, rounds=1, iterations=1)
+    assert result.facts["linear_messages"]
+    for n in (1, 2, 4, 8):
+        assert result.facts[f"{n}/success_rate"] == 1.0
+        assert result.facts[f"{n}/terminated"]
+    emit(result)

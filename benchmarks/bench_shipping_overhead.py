@@ -1,0 +1,10 @@
+"""S6 — §6: TPNR protocol time vs surface-mail shipping time."""
+
+from repro.analysis.experiments import experiment_shipping
+
+
+def test_bench_shipping(benchmark, emit):
+    result = benchmark.pedantic(experiment_shipping, rounds=2, iterations=1)
+    assert result.facts["protocol_is_trivial"]
+    assert result.facts["max_fraction"] < 1e-3
+    emit(result)

@@ -1,0 +1,14 @@
+"""T1 — regenerate Table 1: Azure-style REST PUT/GET with SharedKey auth."""
+
+from repro.analysis.experiments import experiment_table1
+
+
+def test_bench_table1(benchmark, emit):
+    result = benchmark(experiment_table1)
+    assert result.facts["put_ok"] and result.facts["get_ok"]
+    assert result.facts["forged_rejected"]
+    assert result.facts["md5_round_tripped"]
+    emit(result, extra="\n--- rendered PUT request (Table 1 layout) ---\n"
+                       + result.facts["put_rendered"]
+                       + "\n\n--- rendered GET request ---\n"
+                       + result.facts["get_rendered"])

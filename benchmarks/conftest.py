@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), times the
+runner with pytest-benchmark, writes the rendered artifact to
+``benchmarks/results/<id>.txt`` (so ``EXPERIMENTS.md`` can reference
+stable outputs), and asserts the reproduction facts hold.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Render an ExperimentResult, save it, and echo it to stdout."""
+
+    def _emit(result, extra: str = "") -> str:
+        text = render_table(result.headers, result.rows,
+                            title=f"[{result.experiment_id}] {result.title}")
+        if result.notes:
+            text += f"\nNote: {result.notes}"
+        if extra:
+            text += "\n" + extra
+        (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _emit

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Run the §5 attack gauntlet and print the robustness matrix.
+
+Each of the paper's five attack classes (man-in-the-middle, reflection,
+interleaving, replay, timeliness) is staged twice: against the fully
+defended protocol stack and against a target with the corresponding
+defence removed — showing each defence is load-bearing, not decorative.
+
+Run:  python examples/attack_gauntlet.py
+"""
+
+from repro.analysis.report import render_table
+from repro.attacks import run_gauntlet, tpnr_defense_holds
+
+
+def main() -> None:
+    results = run_gauntlet(seed=b"gauntlet-example")
+    rows = [
+        [r.attack, r.target, "SUCCEEDED" if r.succeeded else "defeated",
+         r.messages_intercepted, r.messages_injected]
+        for r in results
+    ]
+    print(render_table(
+        ["attack (paper §5)", "target", "outcome", "intercepted", "injected"],
+        rows,
+        title="Attack gauntlet",
+    ))
+    print()
+    for r in results:
+        marker = "!!" if r.succeeded else "ok"
+        print(f"  [{marker}] {r.attack:18s} vs {r.target:30s} {r.detail}")
+    print()
+    if tpnr_defense_holds(results):
+        print("Every attack against the fully defended configuration failed,")
+        print("and every weakened target fell to its attack — the §5 analysis holds.")
+    else:  # pragma: no cover - would indicate a regression
+        print("WARNING: an attack succeeded against a defended target!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare the protocols on a terabyte-scale backup (paper §4.4 + §6).
+
+Runs the same exchange under three regimes and prints the cost table:
+
+* **TPNR Normal mode** — 2 messages, TTP off-line;
+* **Traditional NR (Zhou-Gollmann)** — 5 messages, TTP on-line;
+* **TPNR + device shipping** — evidence over the wire, bulk data by
+  surface mail, showing the protocol's time is "really trivial
+  comparing to the time consumed by delivering the storage devices"
+  (§6).
+
+Run:  python examples/bulk_backup_comparison.py
+"""
+
+from repro import make_deployment, run_upload
+from repro.analysis.metrics import compare, measure
+from repro.analysis.report import render_table
+from repro.baselines import ZgClient, ZgOnlineTtp, ZgProvider
+from repro.crypto import CertificateAuthority, HmacDrbg, Identity, KeyRegistry
+from repro.net import ChannelSpec, Network, Simulator
+from repro.storage import EXPRESS, GROUND, OVERNIGHT, ShippingCarrier, StorageDevice
+
+CHANNEL = ChannelSpec(base_latency=0.04, bandwidth_bps=12.5e6)  # 100 Mbit WAN
+PAYLOAD = HmacDrbg(b"bulk-backup").generate(256 * 1024)  # evidence-sized sample
+
+
+def tpnr_cost():
+    dep = make_deployment(seed=b"bulk-tpnr", channel=CHANNEL)
+    run_upload(dep, PAYLOAD)
+    return measure(dep.network.trace, "TPNR Normal", "tpnr.")
+
+
+def zg_cost():
+    rng = HmacDrbg(b"bulk-zg")
+    sim = Simulator()
+    network = Network(sim, rng, CHANNEL)
+    ca = CertificateAuthority("ca", rng.fork("ca"))
+    registry = KeyRegistry(ca)
+    identities = {n: Identity.generate(n, rng) for n in ("alice", "bob", "zg-ttp")}
+    for identity in identities.values():
+        registry.enroll(identity)
+    client = ZgClient(identities["alice"], registry, rng)
+    provider = ZgProvider(identities["bob"], registry, rng)
+    ttp = ZgOnlineTtp(identities["zg-ttp"], registry)
+    for node in (client, provider, ttp):
+        network.add_node(node)
+    client.exchange("bob", PAYLOAD)
+    sim.run()
+    return measure(network.trace, "Traditional NR (ZG)", "zg.")
+
+
+def main() -> None:
+    tpnr = tpnr_cost()
+    zg = zg_cost()
+    rows = [
+        [cost.label, cost.steps, cost.bytes_on_wire, f"{cost.latency:.3f}",
+         "on-line" if cost.uses_ttp else "off-line"]
+        for cost in (tpnr, zg)
+    ]
+    print(render_table(
+        ["protocol", "messages", "bytes on wire", "latency (s)", "TTP"],
+        rows,
+        title="Evidence exchange over a 100 Mbit WAN",
+    ))
+    ratios = compare(tpnr, zg)
+    print(f"\nTraditional NR costs {ratios['steps']:.1f}x the messages and "
+          f"{ratios['latency']:.1f}x the latency of TPNR Normal mode.\n")
+
+    # §6: bulk data travels by device; the protocol is a rounding error.
+    print("Terabyte-scale backup: 4 TB by device, evidence by TPNR")
+    rng = HmacDrbg(b"bulk-ship")
+    rows = []
+    for carrier_spec in (GROUND, EXPRESS, OVERNIGHT):
+        sim = Simulator()
+        carrier = ShippingCarrier(sim, rng.fork(carrier_spec.name), carrier_spec)
+        device = StorageDevice("DEV-4TB", 4 * 1024**4)
+        transit = carrier.ship(device, "customer", "provider", lambda d: None)
+        sim.run()
+        round_trip = 2 * transit
+        fraction = tpnr.latency / (round_trip + tpnr.latency)
+        rows.append([carrier_spec.name, f"{round_trip / 86400:.2f}",
+                     f"{tpnr.latency:.3f}", f"{fraction:.2e}"])
+    print(render_table(
+        ["carrier", "shipping RTT (days)", "protocol (s)", "protocol fraction"],
+        rows,
+    ))
+    print("\nThe non-repudiation protocol adds microseconds-per-day of overhead —")
+    print("exactly the paper's §6 argument for why TPNR is practical for cloud backup.")
+
+
+if __name__ == "__main__":
+    main()

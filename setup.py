@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP 660 editable
+installs fail; with this shim ``pip install -e .`` falls back to the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Metrics extracted from simulation traces.
+
+The quantities the paper reasons about qualitatively: protocol *steps*
+(messages sent), bytes on the wire, which roles took part, and
+end-to-end latency.  Everything here is derived from
+:class:`repro.net.trace.TraceRecorder` events, so any protocol run on
+the simulated network can be measured the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.trace import TraceRecorder
+
+__all__ = ["ProtocolCost", "measure", "compare"]
+
+
+@dataclass(frozen=True)
+class ProtocolCost:
+    """The cost profile of one protocol run."""
+
+    label: str
+    steps: int
+    bytes_on_wire: int
+    latency: float
+    participants: int
+    ttp_messages: int
+
+    @property
+    def uses_ttp(self) -> bool:
+        return self.ttp_messages > 0
+
+
+def measure(trace: TraceRecorder, label: str, kind_prefix: str = "",
+            ttp_names: tuple[str, ...] = ("ttp", "zg-ttp")) -> ProtocolCost:
+    """Summarize a trace into a :class:`ProtocolCost`."""
+    sends = trace.sends(kind_prefix)
+    ttp_messages = sum(1 for e in sends if e.src in ttp_names or e.dst in ttp_names)
+    return ProtocolCost(
+        label=label,
+        steps=len(sends),
+        bytes_on_wire=sum(e.size_bytes for e in sends),
+        latency=trace.span(),
+        participants=len({e.src for e in sends} | {e.dst for e in sends}),
+        ttp_messages=ttp_messages,
+    )
+
+
+def compare(a: ProtocolCost, b: ProtocolCost) -> dict[str, float]:
+    """Ratios b/a for the headline columns (guarding zero divisions)."""
+
+    def ratio(x: float, y: float) -> float:
+        return y / x if x else float("inf")
+
+    return {
+        "steps": ratio(a.steps, b.steps),
+        "bytes": ratio(a.bytes_on_wire, b.bytes_on_wire),
+        "latency": ratio(a.latency, b.latency),
+    }

@@ -1,0 +1,140 @@
+"""Workload generation: many clients, many transactions, lossy links.
+
+The paper motivates TPNR with cloud-scale backup, so the harness must
+show the protocol at more than one-transaction scale.  This module
+drives N concurrent clients through M transactions each over a
+configurable channel and aggregates the outcomes — the basis of the W1
+(scalability) and R1 (loss resilience) extension benchmarks.
+
+Key property exercised here: **finite termination**.  Whatever the
+channel drops, every transaction ends in a terminal state (COMPLETED /
+RESOLVED / ABORTED / FAILED) — there is no limbo, because every wait is
+bounded by a time-out and every time-out has a resolution path
+(Resolve, restart, or a TTP failure statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.policy import DEFAULT_POLICY, TpnrPolicy
+from ..core.protocol import Deployment, make_deployment
+from ..core.provider import HONEST, ProviderBehavior
+from ..core.transaction import TxStatus
+from ..crypto.drbg import HmacDrbg
+from ..errors import ProtocolError
+from ..net.channel import ChannelSpec
+
+__all__ = ["WorkloadSpec", "WorkloadReport", "run_workload", "resilience_sweep"]
+
+TERMINAL = (TxStatus.COMPLETED, TxStatus.RESOLVED, TxStatus.ABORTED, TxStatus.FAILED)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one generated workload."""
+
+    n_clients: int = 4
+    transactions_per_client: int = 5
+    min_payload: int = 256
+    max_payload: int = 4096
+    arrival_window: float = 10.0  # uploads start uniformly in [0, window)
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1 or self.transactions_per_client < 1:
+            raise ProtocolError("workload needs at least one client and transaction")
+        if not 0 < self.min_payload <= self.max_payload:
+            raise ProtocolError("invalid payload size range")
+        if self.arrival_window < 0:
+            raise ProtocolError("arrival window must be non-negative")
+
+    @property
+    def total_transactions(self) -> int:
+        return self.n_clients * self.transactions_per_client
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregated outcome of one workload run."""
+
+    spec: WorkloadSpec
+    status_counts: dict[str, int] = field(default_factory=dict)
+    total_messages: int = 0
+    total_bytes: int = 0
+    elapsed: float = 0.0
+    provider_objects: int = 0
+    evidence_items: int = 0
+    unterminated: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of transactions ending COMPLETED or RESOLVED."""
+        good = self.status_counts.get("completed", 0) + self.status_counts.get("resolved", 0)
+        return good / self.spec.total_transactions
+
+    @property
+    def all_terminated(self) -> bool:
+        return self.unterminated == 0
+
+
+def run_workload(
+    seed: bytes,
+    spec: WorkloadSpec,
+    channel: ChannelSpec = ChannelSpec(base_latency=0.02),
+    behavior: ProviderBehavior = HONEST,
+    policy: TpnrPolicy = DEFAULT_POLICY,
+) -> tuple[Deployment, WorkloadReport]:
+    """Drive *spec* to quiescence; returns the world and the report."""
+    names = tuple(f"user-{i}" for i in range(1, spec.n_clients))
+    dep = make_deployment(
+        seed=seed, channel=channel, behavior=behavior, policy=policy,
+        extra_client_names=names,
+    )
+    clients = [dep.client, *dep.extra_clients.values()]
+    workload_rng = HmacDrbg(seed, b"workload")
+    dep.network.trace.clear()
+    for client in clients:
+        for _ in range(spec.transactions_per_client):
+            payload = workload_rng.generate(
+                workload_rng.randint(spec.min_payload, spec.max_payload)
+            )
+            start = workload_rng.random() * spec.arrival_window
+            dep.sim.schedule(
+                start,
+                lambda c=client, p=payload: c.upload(dep.provider.name, p),
+            )
+    dep.run()
+    report = WorkloadReport(spec=spec)
+    for client in clients:
+        for record in client.transactions.values():
+            report.status_counts[record.status.value] = (
+                report.status_counts.get(record.status.value, 0) + 1
+            )
+            if record.status not in TERMINAL:
+                report.unterminated += 1
+        report.evidence_items += len(client.evidence_store)
+    sends = dep.network.trace.sends("tpnr.")
+    report.total_messages = len(sends)
+    report.total_bytes = sum(e.size_bytes for e in sends)
+    report.elapsed = dep.sim.now
+    report.provider_objects = len(dep.provider.store)
+    report.evidence_items += len(dep.provider.evidence_store)
+    return dep, report
+
+
+def resilience_sweep(
+    seed: bytes,
+    drop_probs: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    spec: WorkloadSpec = WorkloadSpec(n_clients=3, transactions_per_client=4),
+) -> list[tuple[float, WorkloadReport]]:
+    """Run the workload across increasingly lossy channels.
+
+    Expected shape: success rate degrades gracefully with loss, but
+    every transaction still terminates (the §5.5 finiteness property).
+    """
+    results = []
+    for drop in drop_probs:
+        channel = ChannelSpec(base_latency=0.02, drop_prob=drop)
+        _, report = run_workload(seed + f"/drop={drop}".encode(), spec, channel)
+        results.append((drop, report))
+    return results

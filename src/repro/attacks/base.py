@@ -1,0 +1,42 @@
+"""Attack framework for the §5 robustness analysis.
+
+Each attack implements :class:`Attack` and is run against a *target
+configuration* — the full TPNR protocol, a deliberately weakened TPNR
+variant (one defence switched off via
+:meth:`repro.core.policy.TpnrPolicy.weakened`), or a naive strawman
+protocol (:mod:`repro.attacks.naive`).  The result records whether the
+adversary achieved its goal, so the S5 benchmark can print the
+attack x target success matrix the paper's §5 argues about.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["AttackResult", "Attack"]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one attack run."""
+
+    attack: str
+    target: str
+    succeeded: bool
+    detail: str
+    messages_intercepted: int = 0
+    messages_injected: int = 0
+
+
+class Attack(abc.ABC):
+    """One of the five §5 attack classes."""
+
+    #: name used in reports
+    name: str = "abstract"
+    #: the §5 subsection this reproduces
+    paper_section: str = ""
+
+    @abc.abstractmethod
+    def run(self, seed: bytes, **target_config) -> AttackResult:
+        """Stage the attack against a fresh deployment built from *seed*."""

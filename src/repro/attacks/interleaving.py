@@ -1,0 +1,113 @@
+"""Interleaving attack (paper §5.3).
+
+"Interleaving attack can possibly succeed when there are several rounds
+to exchange key and the to-and-from messages are symmetrical...  In
+this protocol, the message is not symmetrical and binding with a unique
+sequence number.  In addition, each session is finished only in one
+round."
+
+Two targets:
+
+* :class:`repro.attacks.naive.NaiveReceiptService` — receipts are not
+  bound to their transaction, so a receipt captured in session 1 passes
+  as session 2's receipt;
+* TPNR — the adversary withholds the receipt of transaction 2 and
+  substitutes a copy of transaction 1's receipt.  Alice's checks
+  (transaction binding inside the signed header + nonce freshness)
+  reject the splice; success would require transaction 2 to be marked
+  complete without Bob's genuine receipt.
+"""
+
+from __future__ import annotations
+
+from ..core.protocol import make_deployment
+from ..core.transaction import TxStatus
+from ..crypto.drbg import HmacDrbg
+from ..net.adversary import Adversary
+from ..net.network import Envelope
+from .base import Attack, AttackResult
+from .naive import NaiveReceiptService
+
+__all__ = ["InterleavingAttack", "SpliceAdversary"]
+
+
+class SpliceAdversary(Adversary):
+    """Keep the first receipt; substitute it for the second."""
+
+    def __init__(self) -> None:
+        super().__init__(name="splicer", positions=None)
+        self._captured: Envelope | None = None
+        self.spliced = 0
+
+    def on_intercept(self, envelope: Envelope) -> None:
+        self.seen.append(envelope)
+        if envelope.kind != "tpnr.upload.receipt":
+            self.forward(envelope)
+            return
+        if self._captured is None:
+            # First receipt: pass it through but keep a copy.
+            self._captured = envelope
+            self.forward(envelope)
+        else:
+            # Second receipt: drop it, inject the first one again.
+            self.drop(envelope)
+            self.spliced += 1
+            self.network.inject(self._captured, mark="inject")
+
+
+class InterleavingAttack(Attack):
+    """Cross-session message splicing."""
+
+    name = "interleaving"
+    paper_section = "5.3"
+
+    def run(self, seed: bytes, naive_target: bool = False) -> AttackResult:
+        if naive_target:
+            return self._run_naive(seed)
+        return self._run_tpnr(seed)
+
+    def _run_naive(self, seed: bytes) -> AttackResult:
+        rng = HmacDrbg(seed, b"interleaving")
+        service = NaiveReceiptService(rng)
+        _id1, receipt1 = service.upload(b"first upload")
+        id2, _receipt2_withheld = service.upload(b"second upload")
+        # The attacker presents session 1's receipt for session 2.
+        accepted = service.receipt_valid(id2, receipt1)
+        return AttackResult(
+            attack=self.name,
+            target="naive-receipt-service",
+            succeeded=accepted,
+            detail="session-1 receipt accepted as session-2 receipt "
+            "(receipts are not transaction-bound)"
+            if accepted
+            else "receipt rejected",
+            messages_intercepted=2,
+            messages_injected=1,
+        )
+
+    def _run_tpnr(self, seed: bytes) -> AttackResult:
+        # auto_resolve off so a successful splice cannot be masked by
+        # the TTP legitimately re-fetching the receipt.
+        dep = make_deployment(seed=seed + b"/interleaving")
+        adversary = SpliceAdversary()
+        dep.network.install_adversary(adversary)
+        txn1 = dep.client.upload(dep.provider.name, b"first upload", auto_resolve=False)
+        txn2 = dep.client.upload(dep.provider.name, b"second upload", auto_resolve=False)
+        dep.run()
+        status1 = dep.client.transactions[txn1].status
+        status2 = dep.client.transactions[txn2].status
+        succeeded = status2 is TxStatus.COMPLETED  # without Bob's receipt-2
+        rejections = [r for _, r in dep.client.rejected_messages]
+        return AttackResult(
+            attack=self.name,
+            target="tpnr/full",
+            succeeded=succeeded,
+            detail=(
+                f"txn1={status1.value}, txn2={status2.value}; "
+                f"splice rejected ({rejections[0] if rejections else 'no rejection recorded'})"
+                if not succeeded
+                else "spliced receipt accepted across transactions"
+            ),
+            messages_intercepted=len(adversary.seen),
+            messages_injected=adversary.spliced,
+        )

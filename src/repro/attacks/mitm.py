@@ -1,0 +1,122 @@
+"""Man-in-the-middle attack (paper §5.1).
+
+"MITM attack can succeed only when the attacker can impersonate the end
+parties.  It can be prevented by the authentication."  We stage the
+classic attack against the secure-channel handshake: Mallory intercepts
+the ClientHello, substitutes her own Diffie-Hellman value toward each
+side, and relays records between the two sessions she now terminates.
+
+The target knob is certificate validation: a client that authenticates
+the server's handshake signature against the PKI rejects Mallory's
+forged ServerHello (she cannot sign the transcript with the server's
+key, even when she presents the server's genuine certificate); a client
+that skips validation — "when the party gets the other's public key,
+they should authenticate the validity" left undone — hands her the
+session.
+"""
+
+from __future__ import annotations
+
+from ..crypto import dh, rsa
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hmac_ import hmac_digest
+from ..crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from ..errors import HandshakeError
+from ..net.securechannel import (
+    ClientEndpoint,
+    SecureSession,
+    ServerEndpoint,
+    ServerHello,
+    _transcript,
+)
+from .base import Attack, AttackResult
+
+__all__ = ["MitmAttack"]
+
+_SECRET = b"the quarterly numbers before the announcement"
+
+
+class MitmAttack(Attack):
+    """Intercept-and-reterminate against the mini-TLS handshake."""
+
+    name = "man-in-the-middle"
+    paper_section = "5.1"
+
+    def run(self, seed: bytes, verify_peer: bool = True) -> AttackResult:
+        target = (
+            "securechannel/authenticated" if verify_peer else "securechannel/no-cert-check"
+        )
+        rng = HmacDrbg(seed, b"mitm")
+        ca = CertificateAuthority("ca", rng.fork("ca"))
+        registry = KeyRegistry(ca)
+        bob = Identity.generate("bob", rng)
+        bob_cert = registry.enroll(bob)
+        mallory = Identity.generate("mallory", rng)
+        mallory_rng = rng.fork("mallory")
+
+        alice = ClientEndpoint("alice", rng, registry, expected_server="bob",
+                               verify_peer=verify_peer)
+        real_server = ServerEndpoint(bob, bob_cert, rng)
+
+        # 1. Alice's hello is intercepted by Mallory.
+        hello = alice.hello()
+
+        # 2. Mallory handshakes with the real server as herself
+        #    (client side of TLS is anonymous here).
+        mallory_client = ClientEndpoint("mallory-as-alice", mallory_rng, registry,
+                                        expected_server="bob")
+        m_hello = mallory_client.hello()
+        m_server_hello = real_server.respond(m_hello)
+        m_finished = mallory_client.finish(m_server_hello)
+        server_side_session = real_server.complete(m_hello, m_finished)
+        mallory_to_bob = mallory_client.session
+        assert mallory_to_bob is not None
+
+        # 3. Mallory forges a ServerHello toward Alice: Bob's genuine
+        #    certificate, but *her* DH value and *her* signature.
+        group = dh.default_group()
+        m_keypair = dh.generate_keypair(group, mallory_rng)
+        m_random = mallory_rng.generate(32)
+        transcript = _transcript(hello, m_random, m_keypair.public)
+        forged = ServerHello(
+            server_name="bob",
+            random=m_random,
+            dh_public=m_keypair.public,
+            certificate=bob_cert,  # genuine cert; the signature is the tell
+            signature=rsa.sign(mallory.private_key, transcript),
+        )
+        try:
+            alice.finish(forged)
+        except HandshakeError as exc:
+            return AttackResult(
+                attack=self.name,
+                target=target,
+                succeeded=False,
+                detail=f"client rejected the forged ServerHello: {exc}",
+                messages_intercepted=1,
+                messages_injected=1,
+            )
+
+        # 4. Alice accepted: Mallory derives the same master from
+        #    Alice's DH public and her own private value.
+        shared = dh.derive_shared_secret(m_keypair, hello.dh_public)
+        master = hmac_digest(shared, hello.random + m_random)
+        mallory_as_server = SecureSession(master, is_client=False, peer_name="alice",
+                                          rng=mallory_rng)
+
+        # 5. Alice sends the secret; Mallory reads it and relays it on
+        #    to the real server so nobody notices.
+        record = alice.session.seal(_SECRET)
+        stolen = mallory_as_server.open(record)
+        relayed = mallory_to_bob.seal(stolen)
+        received_by_bob = server_side_session.open(relayed)
+        succeeded = stolen == _SECRET and received_by_bob == _SECRET
+        return AttackResult(
+            attack=self.name,
+            target=target,
+            succeeded=succeeded,
+            detail="full interception: Mallory read and relayed the plaintext"
+            if succeeded else "relay failed",
+            messages_intercepted=2,
+            messages_injected=2,
+        )

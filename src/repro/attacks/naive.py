@@ -1,0 +1,89 @@
+"""Naive strawman protocols the §5 attacks *do* defeat.
+
+The paper argues TPNR resists five classic attacks by pointing at
+specific message fields.  To show those defences are doing real work,
+the attack harness also runs each attack against a protocol missing
+the relevant defence.  Two deliberately naive constructions cover the
+cases the weakened-TPNR variants cannot:
+
+* :class:`NaiveChallengeResponse` — a symmetric challenge-response
+  authenticator that uses **the same keyed MAC in both directions**
+  with no direction binding: the §5.2 reflection attack's textbook
+  victim.
+* :class:`NaiveReceiptService` — a storage service whose upload
+  receipt is a MAC over the constant string ``"OK"``, **not bound to
+  the transaction**: receipts from one session are interchangeable
+  with another's, which is what the §5.3 interleaving attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hmac_ import constant_time_equals, hmac_digest
+
+__all__ = ["NaiveChallengeResponse", "NaiveReceiptService"]
+
+
+class NaiveChallengeResponse:
+    """Mutual authentication by MAC-ing the peer's challenge.
+
+    Protocol (both directions identical — the flaw):
+
+        A -> B: challenge_a
+        B -> A: MAC(K, challenge_a), challenge_b
+        A -> B: MAC(K, challenge_b)
+
+    A reflection attacker who receives ``challenge_a`` simply opens a
+    *second* session toward the victim, sends ``challenge_a`` as its
+    own challenge, and echoes back the MAC the victim helpfully
+    computes.
+    """
+
+    def __init__(self, shared_key: bytes) -> None:
+        self._key = shared_key
+        self.sessions_authenticated = 0
+
+    def respond(self, challenge: bytes) -> bytes:
+        """Answer any challenge under the shared key (both roles do)."""
+        return hmac_digest(self._key, challenge)
+
+    def verify(self, challenge: bytes, response: bytes) -> bool:
+        ok = constant_time_equals(hmac_digest(self._key, challenge), response)
+        if ok:
+            self.sessions_authenticated += 1
+        return ok
+
+
+@dataclass
+class _NaiveUpload:
+    upload_id: str
+    data: bytes
+
+
+class NaiveReceiptService:
+    """Uploads acknowledged with a transaction-unbound receipt.
+
+    ``receipt = MAC(K, b"OK")`` — constant across sessions, so an
+    interleaving attacker can withhold the receipt for upload 1 and
+    later present it as the receipt for upload 2 (or vice versa), and
+    the client cannot tell which upload was actually acknowledged.
+    """
+
+    def __init__(self, rng: HmacDrbg) -> None:
+        self._key = rng.generate(32)
+        self._counter = 0
+        self.stored: dict[str, bytes] = {}
+
+    def upload(self, data: bytes) -> tuple[str, bytes]:
+        """Store and return (upload_id, receipt)."""
+        self._counter += 1
+        upload_id = f"N-{self._counter:04d}"
+        self.stored[upload_id] = data
+        return upload_id, hmac_digest(self._key, b"OK")
+
+    def receipt_valid(self, upload_id: str, receipt: bytes) -> bool:
+        """The flawed check: the receipt never mentions *upload_id*."""
+        del upload_id  # not bound — the vulnerability
+        return constant_time_equals(hmac_digest(self._key, b"OK"), receipt)

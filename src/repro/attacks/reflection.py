@@ -1,0 +1,108 @@
+"""Reflection attack (paper §5.2).
+
+"A reflection attack is a method of attacking a challenge-response
+authentication system that uses the same protocol in both directions.
+Our protocol is not a challenge-response authentication system;
+furthermore, each message contains a unique identifier."
+
+Two targets:
+
+* the textbook victim — :class:`repro.attacks.naive.NaiveChallengeResponse`,
+  where the attacker gets the victim to answer its own challenge;
+* TPNR — the adversary bounces Alice's own UPLOAD back at her; the
+  message is addressed (sender/recipient IDs are inside the signed
+  header), so Alice rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.protocol import make_deployment
+from ..crypto.drbg import HmacDrbg
+from ..net.adversary import Adversary
+from ..net.network import Envelope
+from .base import Attack, AttackResult
+from .naive import NaiveChallengeResponse
+
+__all__ = ["ReflectionAttack", "ReflectorAdversary"]
+
+
+class ReflectorAdversary(Adversary):
+    """Bounces selected messages back to their sender."""
+
+    def __init__(self, kind_to_reflect: str) -> None:
+        super().__init__(name="reflector", positions=None)
+        self.kind_to_reflect = kind_to_reflect
+        self.reflected = 0
+
+    def on_intercept(self, envelope: Envelope) -> None:
+        self.seen.append(envelope)
+        self.forward(envelope)
+        if envelope.kind == self.kind_to_reflect:
+            self.reflected += 1
+            bounced = replace(envelope, dst=envelope.src)
+            self.network.inject(bounced, mark="inject")
+
+
+class ReflectionAttack(Attack):
+    """Same-protocol-both-directions reflection."""
+
+    name = "reflection"
+    paper_section = "5.2"
+
+    def run(self, seed: bytes, naive_target: bool = False) -> AttackResult:
+        if naive_target:
+            return self._run_naive(seed)
+        return self._run_tpnr(seed)
+
+    def _run_naive(self, seed: bytes) -> AttackResult:
+        rng = HmacDrbg(seed, b"reflection")
+        victim = NaiveChallengeResponse(shared_key=rng.generate(32))
+        # The victim challenges the attacker...
+        victims_challenge = rng.generate(16)
+        # ...the attacker has no key, so it opens a reverse session and
+        # presents the victim's own challenge back to it...
+        answer_from_victim = victim.respond(victims_challenge)
+        # ...and replays the answer as its own response.
+        authenticated = victim.verify(victims_challenge, answer_from_victim)
+        return AttackResult(
+            attack=self.name,
+            target="naive-challenge-response",
+            succeeded=authenticated,
+            detail="victim answered its own challenge; attacker authenticated "
+            "with zero knowledge of the key"
+            if authenticated
+            else "victim rejected the echoed response",
+            messages_intercepted=1,
+            messages_injected=1,
+        )
+
+    def _run_tpnr(self, seed: bytes) -> AttackResult:
+        dep = make_deployment(seed=seed + b"/reflection")
+        adversary = ReflectorAdversary("tpnr.upload")
+        dep.network.install_adversary(adversary)
+        dep.client.upload(dep.provider.name, b"reflect me if you can")
+        dep.run()
+        # Success would mean Alice processed her own reflected UPLOAD
+        # as if it were a response from Bob.
+        reflected_accepted = any(
+            e.header.flag.value == "UPLOAD" for e in
+            (ev for txn in dep.client.evidence_store.transactions()
+             for ev in dep.client.evidence_store.for_transaction(txn)
+             if ev.signer == dep.client.name)
+        )
+        rejection = next(
+            (reason for kind, reason in dep.client.rejected_messages if "addressed" in reason),
+            "",
+        )
+        return AttackResult(
+            attack=self.name,
+            target="tpnr/full",
+            succeeded=reflected_accepted,
+            detail=f"reflected message rejected: {rejection}"
+            if not reflected_accepted
+            else "client accepted its own reflected message",
+            messages_intercepted=len(adversary.seen),
+            messages_injected=adversary.reflected,
+        )

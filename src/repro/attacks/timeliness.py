@@ -1,0 +1,85 @@
+"""Timeliness attack (paper §5.5).
+
+"Without deadline, the protocol does not know when the step is
+terminated...  In this protocol, we add a time limit field into the
+message in order to limit the reception time of a message."
+
+The adversary holds Alice's UPLOAD hostage and releases it long after
+its time limit.  With enforcement on, the provider refuses the stale
+message and Alice's side has meanwhile terminated deterministically
+(time-out -> Resolve); with the time-limit field ignored, the provider
+happily accepts an arbitrarily old message — the indefinite-limbo
+failure the field exists to prevent.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import DEFAULT_POLICY
+from ..core.protocol import make_deployment
+from ..core.transaction import TxStatus
+from ..net.adversary import Adversary
+from ..net.network import Envelope
+from .base import Attack, AttackResult
+
+__all__ = ["TimelinessAttack", "DelayAdversary"]
+
+
+class DelayAdversary(Adversary):
+    """Holds matching messages and releases them much later."""
+
+    def __init__(self, kind_to_delay: str, delay: float) -> None:
+        super().__init__(name="delayer", positions=None)
+        self.kind_to_delay = kind_to_delay
+        self.delay = delay
+        self.delayed = 0
+
+    def on_intercept(self, envelope: Envelope) -> None:
+        self.seen.append(envelope)
+        if envelope.kind == self.kind_to_delay and self.delayed == 0:
+            self.delayed += 1
+            self.replay_later(envelope, self.delay)
+        else:
+            self.forward(envelope)
+
+
+class TimelinessAttack(Attack):
+    """Deliver a message long past its deadline."""
+
+    name = "timeliness"
+    paper_section = "5.5"
+
+    def run(self, seed: bytes, weakened: bool = False) -> AttackResult:
+        policy = DEFAULT_POLICY
+        if weakened:
+            # No deadline — and the stale message must not be caught by
+            # the other replay defences either, since it is its first
+            # (very late) delivery; seq/nonce are legitimately fresh.
+            policy = policy.weakened(enforce_time_limit=False)
+        target = "tpnr/no-time-limit" if weakened else "tpnr/full"
+        dep = make_deployment(seed=seed + b"/timeliness", policy=policy)
+        # Hold the upload 10x past its time limit.
+        delay = policy.message_time_limit * 10
+        adversary = DelayAdversary("tpnr.upload", delay=delay)
+        dep.network.install_adversary(adversary)
+        txn = dep.client.upload(dep.provider.name, b"stale by the time it lands",
+                                auto_resolve=False)
+        dep.run()
+        provider_accepted = txn in dep.provider.transactions
+        client_status = dep.client.transactions[txn].status
+        client_terminated = client_status is not TxStatus.PENDING
+        succeeded = provider_accepted
+        detail = (
+            f"provider accepted a message {delay:.0f}s old (limit was "
+            f"{policy.message_time_limit:.0f}s); client side had already "
+            f"terminated as {client_status.value}"
+            if succeeded
+            else f"stale message rejected; client terminated finitely as {client_status.value}"
+        )
+        return AttackResult(
+            attack=self.name,
+            target=target,
+            succeeded=succeeded,
+            detail=detail + ("" if client_terminated else " (client still pending!)"),
+            messages_intercepted=len(adversary.seen),
+            messages_injected=adversary.delayed,
+        )

@@ -1,0 +1,22 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.zhou_gollmann` — the traditional four-step fair
+  non-repudiation protocol with an on-line TTP (the §4.4 comparator).
+* :mod:`repro.baselines.ssl_only` — the status quo: per-session
+  integrity with no receipts (the §2 platforms, abstracted).
+"""
+
+from . import ssl_only, zhou_gollmann
+from .ssl_only import SslOnlyPlatform, SslSessionResult
+from .zhou_gollmann import ZgClient, ZgOnlineTtp, ZgOutcome, ZgProvider
+
+__all__ = [
+    "ssl_only",
+    "zhou_gollmann",
+    "SslOnlyPlatform",
+    "SslSessionResult",
+    "ZgClient",
+    "ZgOnlineTtp",
+    "ZgOutcome",
+    "ZgProvider",
+]

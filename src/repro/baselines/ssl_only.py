@@ -1,0 +1,105 @@
+"""The status-quo baseline: per-session integrity only (paper §2).
+
+Models what today's platforms actually give the user: authenticated,
+integrity-checked *sessions* (our mini-TLS + Content-MD5 machinery)
+with **no link between the upload and download sessions** and **no
+signed receipts**.  The scenario API mirrors the TPNR runners so the
+Fig. 5 and S5 experiments can sweep both systems symmetrically.
+
+``md5_mode`` selects the platform behaviour from §2.4:
+
+* ``"stored"``  — Azure model: the MD5 persisted at upload is returned
+  at download; naive tampering is *detected* (but not attributable),
+  cover-up tampering (FIXUP_MD5) is not.
+* ``"recomputed"`` — AWS model: the MD5 is recomputed from storage at
+  download; *any* in-storage tampering passes the check.
+
+Attribution is always impossible: with no signatures, an MD5 mismatch
+cannot prove *who* changed the data — user word against provider word,
+the repudiation deadlock of §2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import digest
+from ..errors import StorageError
+from ..storage.blobstore import BlobStore
+from ..storage.tamper import TamperMode, apply_tamper
+
+__all__ = ["SslOnlyPlatform", "SslSessionResult"]
+
+_CONTAINER = "ssl-only"
+
+
+@dataclass
+class SslSessionResult:
+    """What the user can conclude after an upload+download pair."""
+
+    key: str
+    downloaded: bytes | None
+    detected_mismatch: bool
+    can_attribute: bool  # always False here; True needs signed evidence
+    detail: str
+
+
+class SslOnlyPlatform:
+    """Upload/download with session integrity but no receipts."""
+
+    def __init__(self, rng: HmacDrbg, md5_mode: str = "stored") -> None:
+        if md5_mode not in ("stored", "recomputed"):
+            raise StorageError(f"unknown md5_mode {md5_mode!r}")
+        self.md5_mode = md5_mode
+        self.rng = rng.fork(f"ssl-only/{md5_mode}")
+        self.store = BlobStore("ssl-only")
+        self._counter = 0
+
+    # -- user operations -----------------------------------------------------
+
+    def upload(self, data: bytes) -> str:
+        """Session-integrity-checked upload; returns the object key.
+
+        The transport (modelled as already secured) guarantees the
+        server stored exactly what the user sent — the paper grants
+        this much to SSL.
+        """
+        self._counter += 1
+        key = f"obj-{self._counter:06d}"
+        self.store.put(_CONTAINER, key, data, content_md5=digest("md5", data))
+        return key
+
+    def tamper(self, key: str, mode: TamperMode) -> None:
+        """Provider-side mutation between the sessions (Fig. 5)."""
+        apply_tamper(self.store, _CONTAINER, key, mode, self.rng)
+
+    def download(self, key: str, user_kept_md5: bytes | None = None) -> SslSessionResult:
+        """Session-integrity-checked download.
+
+        *user_kept_md5* models a diligent user who recorded the digest
+        at upload time — the strongest self-help possible without
+        receipts (it improves detection but never attribution).
+        """
+        obj = self.store.get(_CONTAINER, key)
+        if self.md5_mode == "stored":
+            advertised = obj.content_md5
+        else:
+            advertised = obj.actual_md5()
+        actual = digest("md5", obj.data)
+        mismatch = advertised != actual
+        if not mismatch and user_kept_md5 is not None:
+            mismatch = user_kept_md5 != actual
+        detail = (
+            "MD5 mismatch: data or metadata changed in storage — but with no "
+            "signed receipt neither party can prove who is at fault"
+            if mismatch
+            else "checksums consistent (which does NOT prove the data is what was uploaded)"
+        )
+        return SslSessionResult(
+            key=key,
+            downloaded=obj.data,
+            detected_mismatch=mismatch,
+            can_attribute=False,
+            detail=detail,
+        )

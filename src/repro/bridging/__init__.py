@@ -1,0 +1,49 @@
+"""The four §3 bridging schemes plus the status-quo control.
+
+Parameterized by two booleans — is there a Third Authority Certified
+(TAC), and is Secret Key Sharing (SKS) used:
+
+=============  =====  =====
+scheme         TAC    SKS
+=============  =====  =====
+``plain``      no     no    (and no signatures: the current platforms)
+``nn``  §3.1   no     no    (exchanged signed digests)
+``sks`` §3.2   no     yes
+``tac`` §3.3   yes    no
+``both`` §3.4  yes    yes
+=============  =====  =====
+"""
+
+from . import base, scheme_both, scheme_nn, scheme_plain, scheme_sks, scheme_tac, tac
+from .base import BridgingScheme, BridgingWorld, ScenarioResult, UploadArtifacts, make_world
+from .scheme_both import BothScheme
+from .scheme_nn import NeitherScheme
+from .scheme_plain import PlainScheme
+from .scheme_sks import SksScheme
+from .scheme_tac import TacScheme
+from .tac import TacDeposit, TacService
+
+ALL_SCHEMES = (PlainScheme, NeitherScheme, SksScheme, TacScheme, BothScheme)
+
+__all__ = [
+    "base",
+    "scheme_both",
+    "scheme_nn",
+    "scheme_plain",
+    "scheme_sks",
+    "scheme_tac",
+    "tac",
+    "BridgingScheme",
+    "BridgingWorld",
+    "ScenarioResult",
+    "UploadArtifacts",
+    "make_world",
+    "BothScheme",
+    "NeitherScheme",
+    "PlainScheme",
+    "SksScheme",
+    "TacScheme",
+    "TacDeposit",
+    "TacService",
+    "ALL_SCHEMES",
+]

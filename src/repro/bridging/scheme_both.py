@@ -1,0 +1,92 @@
+"""§3.4 — With both TAC and SKS.
+
+Uploading session:
+  1. user -> provider: data + MD5;
+  2. provider verifies the MD5;
+  3. **both** user and provider send the MD5 to the TAC;
+  4. the TAC verifies the two values match and, if so, **distributes
+     the MD5 to user and provider by SKS**, keeping escrow "in demand".
+
+Dispute: pool the two shares and recover the agreed digest; "if the
+disputation cannot be resolved, they can seek further help from the
+TAC" — modelled as the TAC fallback when share recovery fails (e.g. a
+party presents a corrupted share).
+"""
+
+from __future__ import annotations
+
+from ..crypto import shamir
+from ..errors import DisputeError, SecretSharingError
+from .base import BridgingScheme, UploadArtifacts
+
+__all__ = ["BothScheme"]
+
+_MD5_SIZE = 16
+
+
+def _encode_share(share: shamir.Share) -> bytes:
+    return f"{share.x}:{share.y:x}".encode()
+
+
+def _decode_share(raw: bytes) -> shamir.Share:
+    x_str, y_str = raw.decode().split(":", 1)
+    return shamir.Share(x=int(x_str), y=int(y_str, 16))
+
+
+class BothScheme(BridgingScheme):
+    """TAC-verified agreement distributed as secret shares."""
+
+    name = "both"
+    needs_tac = True
+    unilateral_forgery_possible = False
+
+    def upload(self, data: bytes) -> UploadArtifacts:
+        transaction_id = self.new_transaction_id()
+        md5 = self.md5(data)
+        world = self.world
+        self.store_data(transaction_id, data)
+        # 3+4: both submit the digest; the TAC matches and shares it.
+        user_share, provider_share = world.tac.agree_and_share(
+            transaction_id, world.user.name, world.provider.name, md5, md5
+        )
+        return UploadArtifacts(
+            transaction_id=transaction_id,
+            agreed_md5=md5,
+            user_holds={"share": _encode_share(user_share)},
+            provider_holds={"share": _encode_share(provider_share)},
+            tac_holds=True,
+            upload_messages=5,  # data+MD5; verify/ack; 2x MD5 to TAC; shares out
+        )
+
+    def download(self, artifacts: UploadArtifacts) -> tuple[bytes, bytes, int]:
+        data = self.fetch_data(artifacts.transaction_id)
+        return data, artifacts.agreed_md5, 2
+
+    def detect(self, artifacts: UploadArtifacts, downloaded: bytes, provider_md5: bytes) -> bool:
+        # The user holds only a share, not the digest itself; detection
+        # at download time uses the digest returned in the session,
+        # which for an honest session equals the agreed one.
+        return self.md5(downloaded) != provider_md5 or self.md5(downloaded) != artifacts.agreed_md5
+
+    def dispute(self, artifacts: UploadArtifacts, downloaded: bytes) -> tuple[str, int]:
+        world = self.world
+        messages = 2  # both parties table their shares
+        try:
+            recovered = shamir.recover_digest(
+                [
+                    _decode_share(artifacts.user_holds["share"]),
+                    _decode_share(artifacts.provider_holds["share"]),
+                ],
+                digest_size=_MD5_SIZE,
+            )
+        except SecretSharingError:
+            # "Seek further help from the TAC for the MD5."
+            messages += 1
+            try:
+                recovered = world.tac.produce(artifacts.transaction_id).md5
+            except DisputeError:
+                return "unresolved", messages
+        stored = self.fetch_data(artifacts.transaction_id)
+        if self.md5(stored) != recovered:
+            return "provider-at-fault", messages
+        return "claim-rejected", messages

@@ -1,0 +1,54 @@
+"""The status-quo control scheme: authenticated sessions, no receipts.
+
+"When the identity is authenticated, the trust is established" — the
+method the paper says current platforms actually use.  The user keeps
+nothing signed; the provider returns a digest recomputed from storage
+(the AWS behaviour of §2.4).  Consequently in-storage tampering is
+undetectable, and every dispute is word against word.
+"""
+
+from __future__ import annotations
+
+from .base import BridgingScheme, UploadArtifacts
+
+__all__ = ["PlainScheme"]
+
+
+class PlainScheme(BridgingScheme):
+    """No TAC, no SKS, no signatures — the §2 baseline."""
+
+    name = "plain"
+    needs_tac = False
+    unilateral_forgery_possible = True
+
+    def upload(self, data: bytes) -> UploadArtifacts:
+        transaction_id = self.new_transaction_id()
+        md5 = self.md5(data)
+        # 1: user -> provider: data + MD5 (session-checked, then forgotten)
+        self.store_data(transaction_id, data)
+        # 2: provider -> user: OK
+        return UploadArtifacts(
+            transaction_id=transaction_id,
+            agreed_md5=md5,  # known to the framework, *not retained by the user*
+            user_holds={},
+            provider_holds={},
+            tac_holds=False,
+            upload_messages=2,
+        )
+
+    def download(self, artifacts: UploadArtifacts) -> tuple[bytes, bytes, int]:
+        # 1: request; 2: data + MD5 recomputed from storage
+        data = self.fetch_data(artifacts.transaction_id)
+        return data, self.md5(data), 2
+
+    def detect(self, artifacts: UploadArtifacts, downloaded: bytes, provider_md5: bytes) -> bool:
+        # Session-level check only: data vs the digest the provider
+        # just computed — which matches by construction.
+        return self.md5(downloaded) != provider_md5
+
+    def agreed_digest_provable(self, artifacts: UploadArtifacts) -> bool:
+        return False
+
+    def dispute(self, artifacts: UploadArtifacts, downloaded: bytes) -> tuple[str, int]:
+        # Nobody can prove what was agreed: the repudiation deadlock.
+        return "unresolved", 0

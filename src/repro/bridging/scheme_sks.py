@@ -1,0 +1,77 @@
+"""§3.2 — With SKS but without TAC: the digest is secret-shared.
+
+Uploading session:
+  1. user -> provider: data + MD5;
+  2. provider verifies; provider -> user: MD5;
+  3. the two sides **share the MD5 with SKS** — a 2-of-2 Shamir split,
+     so neither can later assert a different agreed digest alone, and a
+     dispute is settled by pooling shares and recovering the digest.
+
+No signatures, no third party: the binding force is that a single
+share reveals nothing and a recovered digest requires both shares —
+so an agreed digest can only be demonstrated *jointly*.
+"""
+
+from __future__ import annotations
+
+from ..crypto import shamir
+from ..errors import SecretSharingError
+from .base import BridgingScheme, UploadArtifacts
+
+__all__ = ["SksScheme"]
+
+_MD5_SIZE = 16
+
+
+def _encode_share(share: shamir.Share) -> bytes:
+    return f"{share.x}:{share.y:x}".encode()
+
+
+def _decode_share(raw: bytes) -> shamir.Share:
+    x_str, y_str = raw.decode().split(":", 1)
+    return shamir.Share(x=int(x_str), y=int(y_str, 16))
+
+
+class SksScheme(BridgingScheme):
+    """Secret-shared digest, no signatures, no third party."""
+
+    name = "sks"
+    needs_tac = False
+    unilateral_forgery_possible = False
+
+    def upload(self, data: bytes) -> UploadArtifacts:
+        transaction_id = self.new_transaction_id()
+        md5 = self.md5(data)
+        # 1: data + MD5; 2: MD5 back; 3: SKS split of the agreed MD5.
+        self.store_data(transaction_id, data)
+        user_share, provider_share = shamir.split_digest(
+            md5, n_shares=2, threshold=2, rng=self.world.rng
+        )
+        return UploadArtifacts(
+            transaction_id=transaction_id,
+            agreed_md5=md5,
+            user_holds={"md5": md5, "share": _encode_share(user_share)},
+            provider_holds={"md5": md5, "share": _encode_share(provider_share)},
+            upload_messages=3,
+        )
+
+    def download(self, artifacts: UploadArtifacts) -> tuple[bytes, bytes, int]:
+        data = self.fetch_data(artifacts.transaction_id)
+        return data, artifacts.agreed_md5, 2
+
+    def dispute(self, artifacts: UploadArtifacts, downloaded: bytes) -> tuple[str, int]:
+        # Pool the two shares and recover the jointly agreed digest.
+        try:
+            recovered = shamir.recover_digest(
+                [
+                    _decode_share(artifacts.user_holds["share"]),
+                    _decode_share(artifacts.provider_holds["share"]),
+                ],
+                digest_size=_MD5_SIZE,
+            )
+        except SecretSharingError:
+            return "unresolved", 2
+        stored = self.fetch_data(artifacts.transaction_id)
+        if self.md5(stored) != recovered:
+            return "provider-at-fault", 2
+        return "claim-rejected", 2

@@ -1,0 +1,76 @@
+"""§3.3 — With TAC but without SKS: signatures escrowed with a third
+authority.
+
+Uploading session:
+  1. user -> provider: data + MD5 + MSU;
+  2. provider verifies; provider -> user: MD5 + MSP;
+  3. **MSU and MSP are sent to the TAC**, which verifies and escrows
+     them.
+
+Dispute: either party "can prove its innocence by presenting the MSU
+and MSP stored at the TAC" — the judge queries the TAC instead of
+trusting either disputant's files.
+"""
+
+from __future__ import annotations
+
+from ..crypto import rsa
+from ..errors import DisputeError
+from .base import BridgingScheme, UploadArtifacts
+from .tac import MSP_DOMAIN, MSU_DOMAIN
+
+__all__ = ["TacScheme"]
+
+
+class TacScheme(BridgingScheme):
+    """Signed digests in third-party escrow."""
+
+    name = "tac"
+    needs_tac = True
+    unilateral_forgery_possible = False
+
+    def upload(self, data: bytes) -> UploadArtifacts:
+        transaction_id = self.new_transaction_id()
+        md5 = self.md5(data)
+        world = self.world
+        msu = rsa.sign(world.user.private_key, MSU_DOMAIN + md5)
+        self.store_data(transaction_id, data)
+        msp = rsa.sign(world.provider.private_key, MSP_DOMAIN + md5)
+        # 3: both signatures go to the TAC (one combined deposit here).
+        world.tac.deposit_signatures(
+            transaction_id, world.user.name, world.provider.name, md5, msu, msp
+        )
+        return UploadArtifacts(
+            transaction_id=transaction_id,
+            agreed_md5=md5,
+            user_holds={"md5": md5},
+            provider_holds={"md5": md5},
+            tac_holds=True,
+            upload_messages=3,  # data+MD5+MSU; MD5+MSP; deposit to TAC
+        )
+
+    def download(self, artifacts: UploadArtifacts) -> tuple[bytes, bytes, int]:
+        data = self.fetch_data(artifacts.transaction_id)
+        return data, artifacts.agreed_md5, 2
+
+    def agreed_digest_provable(self, artifacts: UploadArtifacts) -> bool:
+        return self.world.tac.holds(artifacts.transaction_id)
+
+    def dispute(self, artifacts: UploadArtifacts, downloaded: bytes) -> tuple[str, int]:
+        world = self.world
+        try:
+            deposit = world.tac.produce(artifacts.transaction_id)  # 1 message
+        except DisputeError:
+            return "unresolved", 1
+        msu_ok = rsa.verify(
+            world.registry.lookup(world.user.name), MSU_DOMAIN + deposit.md5, deposit.msu
+        )
+        msp_ok = rsa.verify(
+            world.registry.lookup(world.provider.name), MSP_DOMAIN + deposit.md5, deposit.msp
+        )
+        if not (msu_ok and msp_ok):
+            return "unresolved", 1
+        stored = self.fetch_data(artifacts.transaction_id)
+        if self.md5(stored) != deposit.md5:
+            return "provider-at-fault", 1
+        return "claim-rejected", 1

@@ -1,0 +1,112 @@
+"""The Third Authority Certified (TAC) escrow service (paper §3).
+
+§3's schemes optionally deposit the signed digests (MSU — "MD5
+Signature by User" — and MSP — "MD5 Signature by Provider") with "a
+third authorities certified (TAC) by the user and provider".  The TAC
+verifies what it accepts, stores it per transaction, and later answers
+dispute queries by producing the deposited material.
+
+In the TAC+SKS scheme (§3.4) the TAC additionally receives the digest
+from *both* parties, verifies the two match, and distributes the agreed
+digest back as secret shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import rsa, shamir
+from ..crypto.drbg import HmacDrbg
+from ..crypto.pki import KeyRegistry
+from ..errors import DisputeError, EvidenceError
+
+__all__ = ["TacDeposit", "TacService"]
+
+MSU_DOMAIN = b"bridging-msu|"
+MSP_DOMAIN = b"bridging-msp|"
+
+
+@dataclass(frozen=True)
+class TacDeposit:
+    """One escrowed record: the agreed digest plus both signatures."""
+
+    transaction_id: str
+    user: str
+    provider: str
+    md5: bytes
+    msu: bytes = b""
+    msp: bytes = b""
+
+
+class TacService:
+    """Escrow of signed digests + the §3.4 share-distribution role."""
+
+    def __init__(self, name: str, registry: KeyRegistry, rng: HmacDrbg) -> None:
+        self.name = name
+        self.registry = registry
+        self.rng = rng.fork(f"tac/{name}")
+        self._deposits: dict[str, TacDeposit] = {}
+        self.deposits_accepted = 0
+        self.deposits_rejected = 0
+
+    # -- §3.3: deposit both signatures ---------------------------------------
+
+    def deposit_signatures(
+        self,
+        transaction_id: str,
+        user: str,
+        provider: str,
+        md5: bytes,
+        msu: bytes,
+        msp: bytes,
+    ) -> None:
+        """Verify and escrow MSU and MSP for one transaction."""
+        if not rsa.verify(self.registry.lookup(user), MSU_DOMAIN + md5, msu):
+            self.deposits_rejected += 1
+            raise EvidenceError("TAC: MSU does not verify")
+        if not rsa.verify(self.registry.lookup(provider), MSP_DOMAIN + md5, msp):
+            self.deposits_rejected += 1
+            raise EvidenceError("TAC: MSP does not verify")
+        self._deposits[transaction_id] = TacDeposit(
+            transaction_id=transaction_id, user=user, provider=provider,
+            md5=md5, msu=msu, msp=msp,
+        )
+        self.deposits_accepted += 1
+
+    # -- §3.4: receive digests from both sides, distribute shares -----------------
+
+    def agree_and_share(
+        self,
+        transaction_id: str,
+        user: str,
+        provider: str,
+        md5_from_user: bytes,
+        md5_from_provider: bytes,
+    ) -> tuple[shamir.Share, shamir.Share]:
+        """Verify the two digests match, escrow, return one share each.
+
+        The shares use a 2-of-3 threshold with the TAC silently holding
+        the third share — so user+provider can settle bilaterally, and
+        either of them plus the TAC can settle if the other stonewalls.
+        """
+        if md5_from_user != md5_from_provider:
+            self.deposits_rejected += 1
+            raise EvidenceError("TAC: user and provider submitted different digests")
+        shares = shamir.split_digest(md5_from_user, n_shares=3, threshold=2, rng=self.rng)
+        self._deposits[transaction_id] = TacDeposit(
+            transaction_id=transaction_id, user=user, provider=provider, md5=md5_from_user,
+        )
+        self.deposits_accepted += 1
+        return shares[0], shares[1]
+
+    # -- dispute queries --------------------------------------------------------
+
+    def produce(self, transaction_id: str) -> TacDeposit:
+        """Hand the escrowed record to a dispute."""
+        try:
+            return self._deposits[transaction_id]
+        except KeyError as exc:
+            raise DisputeError(f"TAC holds nothing for {transaction_id!r}") from exc
+
+    def holds(self, transaction_id: str) -> bool:
+        return transaction_id in self._deposits

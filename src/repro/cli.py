@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show every reproducible experiment with its paper artifact.
+``experiment <id> [--seed S]``
+    Run one experiment (T1, F1..F6, S3..S6, W1, R1, A1) and print the
+    regenerated table.
+``gauntlet [--seed S]``
+    Run the §5 attack gauntlet and print the success matrix.
+``demo [--seed S]``
+    One TPNR session with a tampering provider, through arbitration.
+``workload [--clients N] [--transactions M] [--drop P] [--seed S]``
+    Drive a multi-client workload and print the outcome summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis import experiments as exp
+from .analysis.diagram import sequence_diagram
+from .analysis.report import render_kv, render_table
+from .analysis.workload import WorkloadSpec, run_workload
+from .attacks import run_gauntlet, tpnr_defense_holds
+from .core import (
+    ProviderBehavior,
+    Verdict,
+    dispute_tampering,
+    make_deployment,
+    run_download,
+    run_upload,
+)
+from .net.channel import ChannelSpec
+from .storage.tamper import TamperMode
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "T1": (exp.experiment_table1, "Table 1 — REST PUT/GET with SharedKey auth"),
+    "F1": (exp.experiment_fig1, "Fig. 1 — cloud computing principle"),
+    "F2": (exp.experiment_fig2, "Fig. 2 — AWS Import/Export flow"),
+    "F3": (exp.experiment_fig3, "Fig. 3 — Azure secure data access"),
+    "F4": (exp.experiment_fig4, "Fig. 4 — Google SDC work flow"),
+    "F5": (exp.experiment_fig5, "Fig. 5 — the integrity vulnerability"),
+    "F6": (exp.experiment_fig6, "Fig. 6 — TPNR work flows"),
+    "S3": (exp.experiment_bridging, "§3 — bridging schemes (TAC x SKS)"),
+    "S4": (exp.experiment_step_counts, "§4.4 — TPNR vs traditional NR"),
+    "S5": (exp.experiment_attacks, "§5 — attack robustness matrix"),
+    "S6": (exp.experiment_shipping, "§6 — protocol vs shipping time"),
+    "W1": (exp.experiment_scalability, "extension — multi-client scalability"),
+    "R1": (exp.experiment_resilience, "extension — loss resilience"),
+    "A1": (exp.experiment_evidence_ablation, "ablation — evidence encryption"),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(render_table(
+        ["id", "reproduces"],
+        [[key, title] for key, (_, title) in EXPERIMENTS.items()],
+        title="Experiments (run with: python -m repro experiment <id>)",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    key = args.id.upper()
+    if key not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; try 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    runner, _ = EXPERIMENTS[key]
+    result = runner(seed=args.seed.encode())
+    print(render_table(result.headers, result.rows,
+                       title=f"[{result.experiment_id}] {result.title}"))
+    if result.notes:
+        print(f"Note: {result.notes}")
+    return 0
+
+
+def _cmd_gauntlet(args: argparse.Namespace) -> int:
+    results = run_gauntlet(seed=args.seed.encode())
+    print(render_table(
+        ["attack", "target", "outcome", "detail"],
+        [[r.attack, r.target, "SUCCEEDED" if r.succeeded else "defeated", r.detail[:60]]
+         for r in results],
+        title="§5 attack gauntlet",
+    ))
+    holds = tpnr_defense_holds(results)
+    print(f"\nTPNR defense holds: {holds}")
+    return 0 if holds else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dep = make_deployment(
+        seed=args.seed.encode(),
+        behavior=ProviderBehavior(tamper_mode=TamperMode.FIXUP_MD5),
+    )
+    outcome = run_upload(dep, b"the company financial data " * 16)
+    download = run_download(dep, outcome.transaction_id)
+    ruling = dispute_tampering(dep, outcome.transaction_id)
+    print(render_kv(
+        [
+            ("transaction", outcome.transaction_id),
+            ("upload status", outcome.upload_status.value),
+            ("upload messages", outcome.steps),
+            ("tampering detected at download", download.tampering_detected),
+            ("arbitrator verdict", ruling.verdict.value),
+        ],
+        title="TPNR demo: upload -> covert tampering -> download -> arbitration",
+    ))
+    print("\nWire sequence:")
+    print(sequence_diagram(dep.network.trace, "tpnr.",
+                           participants=[dep.client.name, dep.provider.name, dep.ttp.name]))
+    return 0 if ruling.verdict is Verdict.PROVIDER_FAULT else 1
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(n_clients=args.clients, transactions_per_client=args.transactions)
+    channel = ChannelSpec(base_latency=0.02, drop_prob=args.drop)
+    _, report = run_workload(args.seed.encode(), spec, channel)
+    print(render_kv(
+        [
+            ("clients", spec.n_clients),
+            ("transactions", spec.total_transactions),
+            ("drop probability", args.drop),
+            ("success rate", f"{report.success_rate:.2f}"),
+            ("outcomes", str(report.status_counts)),
+            ("messages", report.total_messages),
+            ("bytes on wire", report.total_bytes),
+            ("all terminated", report.all_terminated),
+        ],
+        title="Workload summary",
+    ))
+    return 0 if report.all_terminated else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ICPP/SCC 2010 cloud non-repudiation paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    p_exp = sub.add_parser("experiment", help="run one experiment by id")
+    p_exp.add_argument("id", help="experiment id, e.g. F5 or S4")
+    p_exp.add_argument("--seed", default="cli", help="determinism seed")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_g = sub.add_parser("gauntlet", help="run the §5 attack gauntlet")
+    p_g.add_argument("--seed", default="cli", help="determinism seed")
+    p_g.set_defaults(func=_cmd_gauntlet)
+
+    p_d = sub.add_parser("demo", help="tamper-detect-arbitrate demo")
+    p_d.add_argument("--seed", default="cli", help="determinism seed")
+    p_d.set_defaults(func=_cmd_demo)
+
+    p_w = sub.add_parser("workload", help="run a multi-client workload")
+    p_w.add_argument("--clients", type=int, default=4)
+    p_w.add_argument("--transactions", type=int, default=5)
+    p_w.add_argument("--drop", type=float, default=0.0)
+    p_w.add_argument("--seed", default="cli", help="determinism seed")
+    p_w.set_defaults(func=_cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

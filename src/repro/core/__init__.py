@@ -1,0 +1,94 @@
+"""The paper's primary contribution: the Two-Party Non-Repudiation
+(TPNR) protocol for cloud storage (paper §4), with its three models —
+Normal, Abort, Resolve — plus the evidence machinery (NRO/NRR), the
+trusted third party, and the dispute arbitrator.
+"""
+
+from . import arbitrator, archive, client, confidential, evidence, messages, party, policy, protocol, provider, transaction, ttp
+from .arbitrator import Arbitrator, Ruling, Verdict
+from .archive import export_store, import_bundle, verify_bundle
+from .confidential import open_payload, recipients_of, seal_payload
+from .client import DownloadResult, TpnrClient, UploadHandle
+from .evidence import OpenedEvidence, build_evidence, open_evidence, verify_opened_evidence
+from .messages import AbortDecision, Flag, Header, ResolveAction, TpnrMessage
+from .party import TpnrParty
+from .policy import DEFAULT_POLICY, TpnrPolicy
+from .protocol import (
+    Deployment,
+    SessionOutcome,
+    dispute_missing_receipt,
+    dispute_tampering,
+    make_deployment,
+    run_abort,
+    run_download,
+    run_session,
+    run_shared_download,
+    run_upload,
+)
+from .provider import HONEST, ProviderBehavior, TpnrProvider
+from .transaction import (
+    EvidenceStore,
+    PeerState,
+    TransactionRecord,
+    TxStatus,
+    new_transaction_id,
+)
+from .ttp import TrustedThirdParty
+
+__all__ = [
+    "arbitrator",
+    "archive",
+    "confidential",
+    "export_store",
+    "import_bundle",
+    "verify_bundle",
+    "open_payload",
+    "recipients_of",
+    "seal_payload",
+    "client",
+    "evidence",
+    "messages",
+    "party",
+    "policy",
+    "protocol",
+    "provider",
+    "transaction",
+    "ttp",
+    "Arbitrator",
+    "Ruling",
+    "Verdict",
+    "DownloadResult",
+    "TpnrClient",
+    "UploadHandle",
+    "OpenedEvidence",
+    "build_evidence",
+    "open_evidence",
+    "verify_opened_evidence",
+    "AbortDecision",
+    "Flag",
+    "Header",
+    "ResolveAction",
+    "TpnrMessage",
+    "TpnrParty",
+    "DEFAULT_POLICY",
+    "TpnrPolicy",
+    "Deployment",
+    "SessionOutcome",
+    "dispute_missing_receipt",
+    "dispute_tampering",
+    "make_deployment",
+    "run_abort",
+    "run_download",
+    "run_session",
+    "run_shared_download",
+    "run_upload",
+    "HONEST",
+    "ProviderBehavior",
+    "TpnrProvider",
+    "EvidenceStore",
+    "PeerState",
+    "TransactionRecord",
+    "TxStatus",
+    "new_transaction_id",
+    "TrustedThirdParty",
+]

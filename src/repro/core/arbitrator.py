@@ -1,0 +1,253 @@
+"""The Arbitrator — settles disputes from evidence alone (Fig. 6d).
+
+"If disputation happens, the Arbitrator can ask Alice and Bob to
+provide evidence for judging."  The arbitrator holds no protocol state:
+every ruling re-verifies the submitted :class:`OpenedEvidence` against
+the public key registry and then applies the decision rules below.
+
+Decision rules (per dispute type):
+
+**Tampering claim** (client says downloaded ≠ uploaded):
+  * the provider-signed UPLOAD_RECEIPT (NRR) fixes the uploaded hash;
+  * the provider-signed DOWNLOAD_RESPONSE evidence fixes the served
+    hash;
+  * both signed by the provider -> mismatch proves the change happened
+    *inside the provider's custody*: PROVIDER_FAULT;
+  * equality proves the provider served exactly what it acknowledged:
+    the claim is rejected (this is the §2.4 blackmail scenario);
+  * a claimant who cannot produce the receipts has no case: the
+    provider may rebut with the client's own DOWNLOAD_ACK.
+
+**Missing receipt** (client says provider never answered):
+  * a TTP-signed RESOLVE_FAILED statement is proof the provider
+    ignored an in-line query: PROVIDER_FAULT;
+  * a provider-signed receipt presented by either side defeats the
+    claim.
+
+**Upload content dispute** (provider says client uploaded bad data):
+  * the client-signed UPLOAD NRO fixes what the client sent; the
+    provider holding it proves origin — the client "cannot deny
+    his/her activity".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..crypto.pki import KeyRegistry
+from .evidence import OpenedEvidence, verify_opened_evidence
+from .messages import Flag
+
+__all__ = ["Verdict", "Ruling", "Arbitrator"]
+
+
+class Verdict(enum.Enum):
+    PROVIDER_FAULT = "provider-at-fault"
+    CLIENT_FAULT = "client-at-fault"
+    CLAIM_REJECTED = "claim-rejected"
+    NO_FAULT = "no-fault"
+    UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True)
+class Ruling:
+    verdict: Verdict
+    transaction_id: str
+    rationale: str
+    evidence_admitted: int
+    evidence_rejected: int
+
+
+class Arbitrator:
+    """Stateless evidence judge."""
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self.registry = registry
+        self.rulings: list[Ruling] = []
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _admit(
+        self, transaction_id: str, submissions: list[OpenedEvidence]
+    ) -> tuple[list[OpenedEvidence], int]:
+        """Cryptographically re-verify evidence; drop forgeries and
+        evidence for other transactions."""
+        admitted = []
+        rejected = 0
+        for item in submissions:
+            if item.header.transaction_id != transaction_id:
+                rejected += 1
+                continue
+            if not verify_opened_evidence(item, self.registry):
+                rejected += 1
+                continue
+            admitted.append(item)
+        return admitted, rejected
+
+    @staticmethod
+    def _latest(
+        evidence: list[OpenedEvidence], flag: Flag, signer: str | None = None
+    ) -> OpenedEvidence | None:
+        matches = [
+            e
+            for e in evidence
+            if e.header.flag is flag and (signer is None or e.signer == signer)
+        ]
+        return matches[-1] if matches else None
+
+    def _finish(self, ruling: Ruling) -> Ruling:
+        self.rulings.append(ruling)
+        return ruling
+
+    # -- dispute types --------------------------------------------------------------
+
+    def rule_on_tampering(
+        self,
+        transaction_id: str,
+        provider_name: str,
+        claimant_evidence: list[OpenedEvidence],
+        respondent_evidence: list[OpenedEvidence] | None = None,
+    ) -> Ruling:
+        """Client claims the data came back different than it went in."""
+        respondent_evidence = respondent_evidence or []
+        admitted, rejected = self._admit(
+            transaction_id, claimant_evidence + respondent_evidence
+        )
+        receipt = self._latest(admitted, Flag.UPLOAD_RECEIPT, signer=provider_name)
+        served = self._latest(admitted, Flag.DOWNLOAD_RESPONSE, signer=provider_name)
+        if receipt is not None and served is not None:
+            if served.header.data_hash != receipt.header.data_hash:
+                return self._finish(
+                    Ruling(
+                        Verdict.PROVIDER_FAULT,
+                        transaction_id,
+                        "provider-signed receipt and provider-signed download "
+                        "response carry different data hashes: the data changed "
+                        "in the provider's custody",
+                        len(admitted),
+                        rejected,
+                    )
+                )
+            return self._finish(
+                Ruling(
+                    Verdict.CLAIM_REJECTED,
+                    transaction_id,
+                    "provider served exactly the acknowledged bytes; the "
+                    "tampering claim is unfounded (blackmail scenario)",
+                    len(admitted),
+                    rejected,
+                )
+            )
+        # No download evidence from the claimant; check the rebuttal.
+        ack = self._latest(admitted, Flag.DOWNLOAD_ACK)
+        if receipt is not None and ack is not None:
+            if ack.header.data_hash == receipt.header.data_hash:
+                return self._finish(
+                    Ruling(
+                        Verdict.CLAIM_REJECTED,
+                        transaction_id,
+                        "the claimant's own signed download acknowledgement "
+                        "matches the uploaded hash",
+                        len(admitted),
+                        rejected,
+                    )
+                )
+            return self._finish(
+                Ruling(
+                    Verdict.PROVIDER_FAULT,
+                    transaction_id,
+                    "claimant-signed acknowledgement shows received bytes "
+                    "differ from the provider-acknowledged upload",
+                    len(admitted),
+                    rejected,
+                )
+            )
+        return self._finish(
+            Ruling(
+                Verdict.UNRESOLVED,
+                transaction_id,
+                "insufficient evidence: need the provider-signed receipt plus "
+                "either the download response or the download acknowledgement",
+                len(admitted),
+                rejected,
+            )
+        )
+
+    def rule_on_missing_receipt(
+        self,
+        transaction_id: str,
+        provider_name: str,
+        ttp_name: str,
+        claimant_evidence: list[OpenedEvidence],
+        respondent_evidence: list[OpenedEvidence] | None = None,
+    ) -> Ruling:
+        """Client claims the provider withheld the NRR."""
+        respondent_evidence = respondent_evidence or []
+        admitted, rejected = self._admit(
+            transaction_id, claimant_evidence + respondent_evidence
+        )
+        receipt = self._latest(admitted, Flag.UPLOAD_RECEIPT, signer=provider_name)
+        if receipt is None:
+            receipt = self._latest(admitted, Flag.RESOLVE_REPLY, signer=provider_name)
+        if receipt is not None:
+            return self._finish(
+                Ruling(
+                    Verdict.CLAIM_REJECTED,
+                    transaction_id,
+                    "a provider-signed receipt for this transaction exists",
+                    len(admitted),
+                    rejected,
+                )
+            )
+        statement = self._latest(admitted, Flag.RESOLVE_FAILED, signer=ttp_name)
+        if statement is not None:
+            return self._finish(
+                Ruling(
+                    Verdict.PROVIDER_FAULT,
+                    transaction_id,
+                    "TTP-signed statement: provider did not respond to the "
+                    "in-line resolve query",
+                    len(admitted),
+                    rejected,
+                )
+            )
+        return self._finish(
+            Ruling(
+                Verdict.UNRESOLVED,
+                transaction_id,
+                "no receipt and no TTP statement submitted",
+                len(admitted),
+                rejected,
+            )
+        )
+
+    def rule_on_upload_content(
+        self,
+        transaction_id: str,
+        client_name: str,
+        provider_evidence: list[OpenedEvidence],
+    ) -> Ruling:
+        """Provider proves what the client originally uploaded (NRO)."""
+        admitted, rejected = self._admit(transaction_id, provider_evidence)
+        origin = self._latest(admitted, Flag.UPLOAD, signer=client_name)
+        if origin is not None:
+            return self._finish(
+                Ruling(
+                    Verdict.NO_FAULT,
+                    transaction_id,
+                    f"client-signed NRO fixes the uploaded hash to "
+                    f"{origin.header.data_hash.hex()[:16]}...; origin is undeniable",
+                    len(admitted),
+                    rejected,
+                )
+            )
+        return self._finish(
+            Ruling(
+                Verdict.UNRESOLVED,
+                transaction_id,
+                "provider could not produce the client's NRO",
+                len(admitted),
+                rejected,
+            )
+        )

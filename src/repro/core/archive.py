@@ -1,0 +1,115 @@
+"""Long-term evidence archival.
+
+Disputes can arise long after a transaction — §2.4's blackmail scenario
+plays out when Alice "later" downloads.  Evidence must therefore
+survive process restarts and travel between parties (Alice mails her
+NRR to Bob, both parties mail bundles to the Arbitrator).  This module
+serializes :class:`~repro.core.evidence.OpenedEvidence` to a stable
+JSON form and back, with integrity guarded by re-verification rather
+than trust in the file: a tampered archive simply stops verifying.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..crypto.pki import KeyRegistry
+from ..errors import EvidenceError
+from .evidence import OpenedEvidence, verify_opened_evidence
+from .messages import Flag, Header
+from .transaction import EvidenceStore
+
+__all__ = [
+    "evidence_to_dict",
+    "evidence_from_dict",
+    "export_store",
+    "import_bundle",
+    "verify_bundle",
+]
+
+_FORMAT = "repro-evidence-bundle-v1"
+
+
+def evidence_to_dict(evidence: OpenedEvidence) -> dict:
+    """Stable dict form of one piece of evidence."""
+    header = evidence.header
+    return {
+        "flag": header.flag.value,
+        "sender_id": header.sender_id,
+        "recipient_id": header.recipient_id,
+        "ttp_id": header.ttp_id,
+        "transaction_id": header.transaction_id,
+        "sequence_number": header.sequence_number,
+        "nonce": header.nonce.hex(),
+        "time_limit": header.time_limit,
+        "data_hash": header.data_hash.hex(),
+        "signature_over_data_hash": evidence.signature_over_data_hash.hex(),
+        "signature_over_header": evidence.signature_over_header.hex(),
+        "signer": evidence.signer,
+    }
+
+
+def evidence_from_dict(payload: dict) -> OpenedEvidence:
+    """Inverse of :func:`evidence_to_dict`; validates field shapes."""
+    try:
+        header = Header(
+            flag=Flag(payload["flag"]),
+            sender_id=payload["sender_id"],
+            recipient_id=payload["recipient_id"],
+            ttp_id=payload["ttp_id"],
+            transaction_id=payload["transaction_id"],
+            sequence_number=int(payload["sequence_number"]),
+            nonce=bytes.fromhex(payload["nonce"]),
+            time_limit=float(payload["time_limit"]),
+            data_hash=bytes.fromhex(payload["data_hash"]),
+        )
+        return OpenedEvidence(
+            header=header,
+            signature_over_data_hash=bytes.fromhex(payload["signature_over_data_hash"]),
+            signature_over_header=bytes.fromhex(payload["signature_over_header"]),
+            signer=payload["signer"],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise EvidenceError(f"malformed archived evidence: {exc}") from exc
+
+
+def export_store(store: EvidenceStore, transaction_id: str | None = None) -> str:
+    """Serialize a party's evidence (optionally one transaction) to JSON."""
+    transactions = [transaction_id] if transaction_id else store.transactions()
+    items = [
+        evidence_to_dict(item)
+        for txn in transactions
+        for item in store.for_transaction(txn)
+    ]
+    return json.dumps({"format": _FORMAT, "owner": store.owner, "evidence": items},
+                      indent=2, sort_keys=True)
+
+
+def import_bundle(blob: str) -> tuple[str, list[OpenedEvidence]]:
+    """Parse a bundle; returns (owner, evidence list).
+
+    Parsing does NOT imply validity — run :func:`verify_bundle` (or the
+    Arbitrator, which re-verifies everything anyway) before relying on
+    the contents.
+    """
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise EvidenceError(f"bundle is not valid JSON: {exc}") from exc
+    if payload.get("format") != _FORMAT:
+        raise EvidenceError(f"unknown bundle format {payload.get('format')!r}")
+    items = [evidence_from_dict(item) for item in payload.get("evidence", [])]
+    return payload.get("owner", "?"), items
+
+
+def verify_bundle(blob: str, registry: KeyRegistry) -> list[OpenedEvidence]:
+    """Parse and cryptographically re-verify every item.
+
+    Returns only the verifying evidence; raises if *none* of a
+    non-empty bundle verifies (a wholly forged or corrupted archive).
+    """
+    _owner, items = import_bundle(blob)
+    verified = [item for item in items if verify_opened_evidence(item, registry)]
+    if items and not verified:
+        raise EvidenceError("no evidence in the bundle verifies against the registry")
+    return verified

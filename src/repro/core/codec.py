@@ -1,0 +1,206 @@
+"""Binary wire codec for TPNR messages.
+
+The simulator passes Python objects around, which is fine for protocol
+logic but dodges two real-system questions: what exactly goes on the
+wire, and how do TPNR messages ride inside an encrypted transport
+(:mod:`repro.net.securechannel`)?  This codec answers both: a compact,
+versioned, length-prefixed binary encoding of
+:class:`~repro.core.messages.TpnrMessage` — including recursively
+embedded messages — with strict decoding (unknown versions, truncated
+frames, and trailing garbage are all errors).
+
+Frame layout (all integers big-endian)::
+
+    magic "TPNR" | version u8
+    header: flag u8 | 5x str16 | seq u32 | nonce b16 | time_limit f64 | hash b32
+    data:   present u8 [| len u32 | bytes]
+    evidence: len u32 | bytes
+    annotations: count u16 | (key str16 | value str16)*
+    embedded: count u16 | (frame len u32 | frame)*
+
+``str16`` = u16 length + UTF-8 bytes; ``b16``/``b32`` fixed-size raw.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import ProtocolError
+from .messages import Flag, Header, TpnrMessage
+
+__all__ = ["encode_message", "decode_message", "CODEC_VERSION"]
+
+_MAGIC = b"TPNR"
+CODEC_VERSION = 1
+
+_FLAG_IDS = {flag: i for i, flag in enumerate(Flag)}
+_FLAGS_BY_ID = {i: flag for flag, i in _FLAG_IDS.items()}
+
+_NONCE_SIZE = 16
+_HASH_SIZE = 32
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self.parts.append(struct.pack(">B", v))
+
+    def u16(self, v: int) -> None:
+        self.parts.append(struct.pack(">H", v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack(">I", v))
+
+    def f64(self, v: float) -> None:
+        self.parts.append(struct.pack(">d", v))
+
+    def raw(self, v: bytes) -> None:
+        self.parts.append(v)
+
+    def str16(self, v: str) -> None:
+        encoded = v.encode()
+        if len(encoded) > 0xFFFF:
+            raise ProtocolError("string field too long for str16")
+        self.u16(len(encoded))
+        self.raw(encoded)
+
+    def bytes32(self, v: bytes) -> None:
+        self.u32(len(v))
+        self.raw(v)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, buffer: bytes) -> None:
+        self.buffer = buffer
+        self.offset = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.offset + n > len(self.buffer):
+            raise ProtocolError("truncated TPNR frame")
+        out = self.buffer[self.offset : self.offset + n]
+        self.offset += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def str16(self) -> str:
+        raw = self._take(self.u16())
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in string field: {exc}") from exc
+
+    def bytes32(self) -> bytes:
+        return self._take(self.u32())
+
+    def done(self) -> bool:
+        return self.offset == len(self.buffer)
+
+
+def _encode_header(w: _Writer, header: Header) -> None:
+    w.u8(_FLAG_IDS[header.flag])
+    w.str16(header.sender_id)
+    w.str16(header.recipient_id)
+    w.str16(header.ttp_id)
+    w.str16(header.transaction_id)
+    w.u32(header.sequence_number)
+    if len(header.nonce) != _NONCE_SIZE:
+        raise ProtocolError(f"codec requires {_NONCE_SIZE}-byte nonces")
+    w.raw(header.nonce)
+    w.f64(header.time_limit)
+    if len(header.data_hash) != _HASH_SIZE:
+        raise ProtocolError(f"codec requires {_HASH_SIZE}-byte data hashes")
+    w.raw(header.data_hash)
+
+
+def _decode_header(r: _Reader) -> Header:
+    flag_id = r.u8()
+    if flag_id not in _FLAGS_BY_ID:
+        raise ProtocolError(f"unknown flag id {flag_id}")
+    return Header(
+        flag=_FLAGS_BY_ID[flag_id],
+        sender_id=r.str16(),
+        recipient_id=r.str16(),
+        ttp_id=r.str16(),
+        transaction_id=r.str16(),
+        sequence_number=r.u32(),
+        nonce=r.raw(_NONCE_SIZE),
+        time_limit=r.f64(),
+        data_hash=r.raw(_HASH_SIZE),
+    )
+
+
+def _encode_body(message: TpnrMessage) -> bytes:
+    w = _Writer()
+    w.raw(_MAGIC)
+    w.u8(CODEC_VERSION)
+    _encode_header(w, message.header)
+    if message.data is None:
+        w.u8(0)
+    else:
+        w.u8(1)
+        w.bytes32(message.data)
+    w.bytes32(message.evidence)
+    w.u16(len(message.annotations))
+    for key, value in message.annotations:
+        w.str16(key)
+        w.str16(value)
+    w.u16(len(message.embedded))
+    for inner in message.embedded:
+        frame = _encode_body(inner)
+        w.bytes32(frame)
+    return w.getvalue()
+
+
+def encode_message(message: TpnrMessage) -> bytes:
+    """Serialize a message (and its embedded messages) to wire bytes."""
+    return _encode_body(message)
+
+
+def _decode_body(r: _Reader) -> TpnrMessage:
+    if r.raw(4) != _MAGIC:
+        raise ProtocolError("bad TPNR frame magic")
+    version = r.u8()
+    if version != CODEC_VERSION:
+        raise ProtocolError(f"unsupported codec version {version}")
+    header = _decode_header(r)
+    data = r.bytes32() if r.u8() else None
+    evidence = r.bytes32()
+    annotations = tuple((r.str16(), r.str16()) for _ in range(r.u16()))
+    embedded = []
+    for _ in range(r.u16()):
+        frame = r.bytes32()
+        embedded.append(decode_message(frame))
+    return TpnrMessage(header=header, data=data, evidence=evidence,
+                       annotations=annotations, embedded=tuple(embedded))
+
+
+def decode_message(frame: bytes) -> TpnrMessage:
+    """Strictly parse wire bytes back into a message.
+
+    Raises :class:`ProtocolError` on truncation, bad magic/version, or
+    trailing garbage.
+    """
+    r = _Reader(frame)
+    message = _decode_body(r)
+    if not r.done():
+        raise ProtocolError("trailing bytes after TPNR frame")
+    return message

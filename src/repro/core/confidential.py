@@ -1,0 +1,100 @@
+"""Client-side confidentiality (paper §2.4, concern 1).
+
+"Although she is the storage service provider and has full access to
+the data, Eve is considered as an untrustworthy third party and Alice
+and Bob do not want reveal the data to her."  The paper answers this
+with "robust encryption schemes" and moves on; this module supplies
+that layer so the examples can run the *complete* scenario:
+
+* the uploader seals the payload under a fresh data key (AEAD);
+* the data key is wrapped to each authorized reader's public key
+  (RSA-KEM), so sharing needs no out-of-band secret channel;
+* the provider stores — and signs receipts for — ciphertext only.
+
+The non-repudiation layer is completely unchanged: TPNR hashes and
+signs whatever bytes it is given, so evidence now binds the parties to
+the *ciphertext*, which is exactly what a dispute needs (the provider
+can be convicted of tampering without anyone revealing plaintext).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..crypto import aead, kem
+from ..crypto.drbg import HmacDrbg
+from ..crypto.pki import Identity, KeyRegistry
+from ..errors import DecryptionError
+
+__all__ = ["seal_payload", "open_payload", "recipients_of"]
+
+_MAGIC = b"repro-confidential-v1"
+_KEY_LEN = 32
+
+
+def seal_payload(
+    plaintext: bytes,
+    recipients: list[str],
+    registry: KeyRegistry,
+    rng: HmacDrbg,
+) -> bytes:
+    """Encrypt *plaintext* readable by every listed recipient.
+
+    Format::
+
+        MAGIC || n_recipients(2B)
+        [ name_len(2B) || name || blob_len(4B) || wrapped_key_blob ]*
+        sealed_payload
+    """
+    data_key = rng.generate(_KEY_LEN)
+    nonce = rng.generate(12)
+    parts = [_MAGIC, struct.pack(">H", len(recipients))]
+    for name in recipients:
+        wrapped = kem.hybrid_encrypt(registry.lookup(name), data_key, rng,
+                                     aad=b"confidential-key|" + name.encode())
+        encoded_name = name.encode()
+        parts.append(struct.pack(">H", len(encoded_name)))
+        parts.append(encoded_name)
+        parts.append(struct.pack(">I", len(wrapped)))
+        parts.append(wrapped)
+    parts.append(aead.seal(data_key, nonce, plaintext, aad=_MAGIC))
+    return b"".join(parts)
+
+
+def _parse(blob: bytes) -> tuple[dict[str, bytes], bytes]:
+    if not blob.startswith(_MAGIC):
+        raise DecryptionError("not a confidential payload")
+    offset = len(_MAGIC)
+    (count,) = struct.unpack_from(">H", blob, offset)
+    offset += 2
+    wrapped_keys: dict[str, bytes] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack_from(">H", blob, offset)
+        offset += 2
+        name = blob[offset : offset + name_len].decode()
+        offset += name_len
+        (blob_len,) = struct.unpack_from(">I", blob, offset)
+        offset += 4
+        wrapped_keys[name] = blob[offset : offset + blob_len]
+        offset += blob_len
+    return wrapped_keys, blob[offset:]
+
+
+def recipients_of(blob: bytes) -> list[str]:
+    """Who can open this payload (metadata; no keys needed)."""
+    wrapped_keys, _ = _parse(blob)
+    return sorted(wrapped_keys)
+
+
+def open_payload(blob: bytes, identity: Identity) -> bytes:
+    """Decrypt a confidential payload as one of its recipients."""
+    wrapped_keys, sealed = _parse(blob)
+    wrapped = wrapped_keys.get(identity.name)
+    if wrapped is None:
+        raise DecryptionError(
+            f"{identity.name!r} is not a recipient of this payload "
+            f"(recipients: {sorted(wrapped_keys)})"
+        )
+    data_key = kem.hybrid_decrypt(identity.private_key, wrapped,
+                                  aad=b"confidential-key|" + identity.name.encode())
+    return aead.open_(data_key, sealed, aad=_MAGIC)

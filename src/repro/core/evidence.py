@@ -1,0 +1,154 @@
+"""Evidence construction and verification (paper §4.1).
+
+The paper defines the evidence attached to every transmission as::
+
+    Evidence = Encrypt_pk(recipient){ Sign(HashOfData), Sign(Plaintext) }
+
+For Alice's messages the evidence is the **non-repudiation of origin
+(NRO)**; for Bob's it is the **non-repudiation of receipt (NRR)**.  The
+two signatures do different work:
+
+* ``Sign(HashOfData)`` ties the sender to *exactly these bytes* —
+  "not only facilitate detecting data tampering, the signature of the
+  sender also makes it impossible for the sender to deny his/her
+  activity";
+* ``Sign(Plaintext)`` (the header) binds the transaction ID, sequence
+  number, nonce, time limit, and role IDs, which is what defeats the
+  §5 replay/interleaving attacks;
+* the outer public-key encryption keeps the evidence confidential to
+  the recipient and "guarantees the consistence of the hash with the
+  plaintext".
+
+:class:`OpenedEvidence` is what a recipient stores after decrypting and
+verifying — exactly the object later handed to the Arbitrator.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..crypto import kem, rsa
+from ..crypto.drbg import HmacDrbg
+from ..crypto.pki import Identity, KeyRegistry
+from ..errors import EvidenceError
+from .messages import Header
+
+__all__ = ["OpenedEvidence", "build_evidence", "open_evidence", "verify_opened_evidence"]
+
+_DOMAIN_DATA = b"tpnr-evidence-data|"
+_DOMAIN_HEADER = b"tpnr-evidence-header|"
+
+
+@dataclass(frozen=True)
+class OpenedEvidence:
+    """Decrypted, verified evidence as held by its recipient.
+
+    ``kind`` is "NRO" when the header's sender is the transaction's
+    client and "NRR" when it is the provider; the arbitration layer
+    assigns it — cryptographically both are the same structure.
+    """
+
+    header: Header
+    signature_over_data_hash: bytes
+    signature_over_header: bytes
+    signer: str
+
+    def wire_size(self) -> int:
+        return (
+            self.header.wire_size()
+            + len(self.signature_over_data_hash)
+            + len(self.signature_over_header)
+        )
+
+
+def _pack(sig_data: bytes, sig_header: bytes) -> bytes:
+    return struct.pack(">H", len(sig_data)) + sig_data + sig_header
+
+
+def _unpack(blob: bytes) -> tuple[bytes, bytes]:
+    if len(blob) < 2:
+        raise EvidenceError("evidence blob too short")
+    (n,) = struct.unpack(">H", blob[:2])
+    sig_data, sig_header = blob[2 : 2 + n], blob[2 + n :]
+    if len(sig_data) != n or not sig_header:
+        raise EvidenceError("evidence blob truncated")
+    return sig_data, sig_header
+
+
+def build_evidence(
+    sender: Identity,
+    recipient_public: rsa.RsaPublicKey,
+    header: Header,
+    rng: HmacDrbg,
+    encrypt: bool = True,
+) -> bytes:
+    """Construct the evidence blob for *header*.
+
+    ``encrypt=False`` is the ablation knob (DESIGN.md §5.1): it ships
+    the two signatures in the clear, which the attack benchmarks use to
+    show what the outer encryption buys.
+    """
+    sig_data = rsa.sign(sender.private_key, _DOMAIN_DATA + header.data_hash)
+    sig_header = rsa.sign(sender.private_key, _DOMAIN_HEADER + header.to_signed_bytes())
+    packed = _pack(sig_data, sig_header)
+    if not encrypt:
+        return b"PLAIN" + packed
+    return b"ENC--" + kem.hybrid_encrypt(recipient_public, packed, rng, aad=b"tpnr-evidence")
+
+
+def open_evidence(
+    recipient: Identity,
+    sender_public: rsa.RsaPublicKey,
+    sender_name: str,
+    header: Header,
+    blob: bytes,
+) -> OpenedEvidence:
+    """Decrypt and verify an evidence blob against *header*.
+
+    Raises :class:`EvidenceError` on any inconsistency: undecryptable
+    blob, bad signature over the data hash, bad signature over the
+    header — "the peers should check the consistency between the hash
+    of the plaintext and the plaintext at first".
+    """
+    if blob[:5] == b"PLAIN":
+        packed = blob[5:]
+    elif blob[:5] == b"ENC--":
+        try:
+            packed = kem.hybrid_decrypt(recipient.private_key, blob[5:], aad=b"tpnr-evidence")
+        except Exception as exc:
+            raise EvidenceError(f"evidence decryption failed: {exc}") from exc
+    else:
+        raise EvidenceError("unknown evidence framing")
+    sig_data, sig_header = _unpack(packed)
+    if not rsa.verify(sender_public, _DOMAIN_DATA + header.data_hash, sig_data):
+        raise EvidenceError("signature over data hash invalid")
+    if not rsa.verify(sender_public, _DOMAIN_HEADER + header.to_signed_bytes(), sig_header):
+        raise EvidenceError("signature over plaintext header invalid")
+    return OpenedEvidence(
+        header=header,
+        signature_over_data_hash=sig_data,
+        signature_over_header=sig_header,
+        signer=sender_name,
+    )
+
+
+def verify_opened_evidence(evidence: OpenedEvidence, registry: KeyRegistry) -> bool:
+    """Re-verify stored evidence from public information only.
+
+    This is the Arbitrator's check: given the claimed signer's
+    registered public key, do both signatures hold for the header the
+    evidence carries?
+    """
+    try:
+        public = registry.lookup(evidence.signer)
+    except Exception:
+        return False
+    if not rsa.verify(public, _DOMAIN_DATA + evidence.header.data_hash,
+                      evidence.signature_over_data_hash):
+        return False
+    return rsa.verify(
+        public,
+        _DOMAIN_HEADER + evidence.header.to_signed_bytes(),
+        evidence.signature_over_header,
+    )

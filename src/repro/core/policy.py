@@ -1,0 +1,64 @@
+"""TPNR policy knobs: timeouts, limits, and ablation switches.
+
+The enforcement booleans exist for the §5 robustness experiments: each
+one disables exactly one defence the paper credits with stopping one
+attack class, so the attack harness can demonstrate necessity (the
+weakened variant falls to its attack, the full protocol does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+
+__all__ = ["TpnrPolicy", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class TpnrPolicy:
+    """Protocol configuration shared by the TPNR roles.
+
+    :param response_timeout: seconds Alice/Bob wait for the peer before
+        initiating Resolve (§4.3 "pre-set time-out limit").
+    :param message_time_limit: seconds a message stays acceptable after
+        sending — the §5.5 "time limit field ... to limit the reception
+        time of a message".
+    :param ttp_response_timeout: how long the TTP waits for Bob's
+        Resolve reply before declaring the session failed.
+    :param ttp_max_payload: the TTP never stores/forwards bulk data
+        (§4.3); messages through the TTP above this size are rejected.
+    :param encrypt_evidence: outer public-key encryption of evidence.
+    :param enforce_sequence: reject non-monotonic sequence numbers.
+    :param enforce_nonce: reject reused nonces.
+    :param enforce_time_limit: reject messages past their deadline.
+    :param verify_evidence: verify evidence on receipt (disabling this
+        models the status-quo platforms that only authenticate).
+    """
+
+    response_timeout: float = 5.0
+    message_time_limit: float = 30.0
+    ttp_response_timeout: float = 5.0
+    ttp_max_payload: int = 64 * 1024
+    encrypt_evidence: bool = True
+    enforce_sequence: bool = True
+    enforce_nonce: bool = True
+    enforce_time_limit: bool = True
+    verify_evidence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.response_timeout <= 0 or self.ttp_response_timeout <= 0:
+            raise ProtocolError("timeouts must be positive")
+        if self.message_time_limit <= 0:
+            raise ProtocolError("message time limit must be positive")
+        if self.ttp_max_payload < 1024:
+            raise ProtocolError("TTP payload cap unreasonably small")
+
+    def weakened(self, **switches: bool) -> "TpnrPolicy":
+        """A copy with named defences turned off (attack experiments)."""
+        from dataclasses import replace
+
+        return replace(self, **switches)
+
+
+DEFAULT_POLICY = TpnrPolicy()

@@ -1,0 +1,255 @@
+"""High-level TPNR orchestration: deployments and scenario runners.
+
+A :class:`Deployment` wires the four Fig. 6(a) roles — client, cloud
+storage provider, TTP, arbitrator — onto one simulated network with a
+shared PKI.  The ``run_*`` helpers drive complete scenarios and return
+plain result records; they are the API the examples, tests, and
+benchmarks call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from ..net.channel import PERFECT, ChannelSpec
+from ..net.events import Simulator
+from ..net.network import Network
+from .arbitrator import Arbitrator, Ruling
+from .client import DownloadResult, TpnrClient
+from .messages import Flag
+from .policy import DEFAULT_POLICY, TpnrPolicy
+from .provider import HONEST, ProviderBehavior, TpnrProvider
+from .transaction import TxStatus
+from .ttp import TrustedThirdParty
+
+__all__ = [
+    "Deployment",
+    "make_deployment",
+    "run_upload",
+    "run_download",
+    "run_abort",
+    "run_session",
+    "SessionOutcome",
+]
+
+DEFAULT_KEY_BITS = 512
+
+
+@dataclass
+class Deployment:
+    """One wired-up TPNR world."""
+
+    sim: Simulator
+    network: Network
+    registry: KeyRegistry
+    rng: HmacDrbg
+    client: TpnrClient
+    provider: TpnrProvider
+    ttp: TrustedThirdParty
+    arbitrator: Arbitrator
+    extra_clients: dict[str, TpnrClient] = field(default_factory=dict)
+
+    def run(self, until: float | None = None) -> None:
+        self.network.sim.run(until)
+
+    def any_client(self, name: str) -> TpnrClient:
+        """Look up the primary or an extra client by name."""
+        if name == self.client.name:
+            return self.client
+        return self.extra_clients[name]
+
+
+@dataclass
+class SessionOutcome:
+    """Summary of one upload(+download) session."""
+
+    transaction_id: str
+    upload_status: TxStatus
+    upload_detail: str
+    download: DownloadResult | None = None
+    steps: int = 0
+    bytes_on_wire: int = 0
+    elapsed: float = 0.0
+    ttp_involved: bool = False
+    client_evidence: int = 0
+    provider_evidence: int = 0
+
+
+def make_deployment(
+    seed: bytes | str = b"tpnr-deployment",
+    channel: ChannelSpec = PERFECT,
+    policy: TpnrPolicy = DEFAULT_POLICY,
+    behavior: ProviderBehavior = HONEST,
+    key_bits: int = DEFAULT_KEY_BITS,
+    client_name: str = "alice",
+    provider_name: str = "bob",
+    ttp_name: str = "ttp",
+    extra_client_names: tuple[str, ...] = (),
+    topology=None,
+) -> Deployment:
+    """Build a client + provider + TTP + arbitrator world.
+
+    *extra_client_names* adds further user roles (for the cross-user
+    sharing scenarios).  When a :class:`repro.net.topology.Topology` is
+    given, its compiled per-pair channels override *channel* for every
+    host pair it covers (all role names must be hosts of the topology).
+    All keys derive from *seed*; identical seeds give bit-identical runs.
+    """
+    rng = HmacDrbg(seed)
+    sim = Simulator()
+    network = Network(sim, rng, default_channel=channel)
+    ca = CertificateAuthority("repro-ca", rng.fork("ca"), bits=key_bits)
+    registry = KeyRegistry(ca)
+    client_id = Identity.generate(client_name, rng, bits=key_bits)
+    provider_id = Identity.generate(provider_name, rng, bits=key_bits)
+    ttp_id = Identity.generate(ttp_name, rng, bits=key_bits)
+    extra_ids = [Identity.generate(name, rng, bits=key_bits) for name in extra_client_names]
+    for identity in (client_id, provider_id, ttp_id, *extra_ids):
+        registry.enroll(identity)
+    client = TpnrClient(client_id, registry, rng, ttp_name=ttp_name, policy=policy)
+    provider = TpnrProvider(
+        provider_id, registry, rng, ttp_name=ttp_name, policy=policy, behavior=behavior
+    )
+    ttp = TrustedThirdParty(ttp_id, registry, rng, policy=policy)
+    extra_clients = {
+        identity.name: TpnrClient(identity, registry, rng, ttp_name=ttp_name, policy=policy)
+        for identity in extra_ids
+    }
+    for node in (client, provider, ttp, *extra_clients.values()):
+        network.add_node(node)
+    if topology is not None:
+        topology.install(network)
+    return Deployment(
+        sim=sim,
+        network=network,
+        registry=registry,
+        rng=rng,
+        client=client,
+        provider=provider,
+        ttp=ttp,
+        arbitrator=Arbitrator(registry),
+        extra_clients=extra_clients,
+    )
+
+
+def _summarize(dep: Deployment, transaction_id: str, started_at: float) -> SessionOutcome:
+    record = dep.client.transactions[transaction_id]
+    trace = dep.network.trace
+    tpnr_sends = trace.sends("tpnr.")
+    ttp_kinds = {"tpnr.resolve.request", "tpnr.resolve.query",
+                 "tpnr.resolve.reply", "tpnr.resolve.result", "tpnr.resolve.failed"}
+    return SessionOutcome(
+        transaction_id=transaction_id,
+        upload_status=record.status,
+        upload_detail=record.detail,
+        download=dep.client.downloads.get(transaction_id),
+        steps=len(tpnr_sends),
+        bytes_on_wire=sum(e.size_bytes for e in tpnr_sends),
+        elapsed=dep.sim.now - started_at,
+        ttp_involved=any(e.kind in ttp_kinds for e in tpnr_sends),
+        client_evidence=len(dep.client.evidence_store.for_transaction(transaction_id)),
+        provider_evidence=len(dep.provider.evidence_store.for_transaction(transaction_id)),
+    )
+
+
+def run_upload(dep: Deployment, data: bytes, auto_resolve: bool = True) -> SessionOutcome:
+    """Drive one upload to quiescence and summarize it."""
+    started = dep.sim.now
+    dep.network.trace.clear()
+    transaction_id = dep.client.upload(dep.provider.name, data, auto_resolve=auto_resolve)
+    dep.run()
+    return _summarize(dep, transaction_id, started)
+
+
+def run_download(dep: Deployment, transaction_id: str) -> DownloadResult:
+    """Drive one download of a previously uploaded transaction."""
+    dep.client.download(transaction_id)
+    dep.run()
+    result = dep.client.downloads[transaction_id]
+    return result
+
+
+def run_abort(dep: Deployment, data: bytes, abort_delay: float | None = None) -> SessionOutcome:
+    """Upload, then invoke the Abort sub-protocol (§4.2).
+
+    The abort fires *abort_delay* seconds after the upload (default:
+    half the response time-out — i.e. Alice gives up before escalating
+    to the TTP).  Against an honest instant provider the transaction
+    completes first and the abort is acknowledged post-completion;
+    against a provider withholding the receipt the transaction ends
+    ABORTED — no TTP involved either way, as Fig. 6(b) requires.
+    """
+    started = dep.sim.now
+    dep.network.trace.clear()
+    if abort_delay is None:
+        abort_delay = dep.client.policy.response_timeout / 2
+    transaction_id = dep.client.upload(dep.provider.name, data, auto_resolve=False)
+    dep.sim.schedule(abort_delay, lambda: dep.client.abort(transaction_id))
+    dep.run()
+    return _summarize(dep, transaction_id, started)
+
+
+def run_session(dep: Deployment, data: bytes) -> SessionOutcome:
+    """Full Normal-mode session: upload then download."""
+    outcome = run_upload(dep, data)
+    if outcome.upload_status in (TxStatus.COMPLETED, TxStatus.RESOLVED):
+        outcome.download = run_download(dep, outcome.transaction_id)
+        trace = dep.network.trace
+        tpnr_sends = trace.sends("tpnr.")
+        outcome.steps = len(tpnr_sends)
+        outcome.bytes_on_wire = sum(e.size_bytes for e in tpnr_sends)
+        outcome.elapsed = dep.sim.now
+    return outcome
+
+
+def run_shared_download(
+    dep: Deployment, transaction_id: str, downloader_name: str
+) -> DownloadResult:
+    """The paper's cross-user scenario: the uploader grants access and
+    shares ``(txn, hash, NRR)``; another user downloads and verifies.
+
+    Returns the downloader's :class:`DownloadResult`; upload-to-download
+    integrity holds across users because the served hash is checked
+    against the *uploader's* hash.
+    """
+    uploader = dep.client
+    downloader = dep.any_client(downloader_name)
+    handle = uploader.uploads[transaction_id]
+    # 1. The uploader authorizes the downloader with the provider.
+    uploader.grant(transaction_id, downloader_name)
+    dep.run()
+    # 2. The uploader shares the transaction facts + her NRR out of band.
+    receipt = uploader.evidence_store.latest(transaction_id, Flag.UPLOAD_RECEIPT)
+    downloader.import_transaction(
+        transaction_id,
+        handle.provider,
+        handle.data_hash,
+        handle.data_size,
+        shared_receipt=receipt,
+    )
+    # 3. The downloader runs the normal download session.
+    downloader.download(transaction_id)
+    dep.run()
+    return downloader.downloads[transaction_id]
+
+
+def dispute_tampering(dep: Deployment, transaction_id: str) -> Ruling:
+    """Both parties submit their evidence; the arbitrator rules."""
+    return dep.arbitrator.rule_on_tampering(
+        transaction_id,
+        dep.provider.name,
+        dep.client.evidence_store.for_transaction(transaction_id),
+        dep.provider.evidence_store.for_transaction(transaction_id),
+    )
+
+
+def dispute_missing_receipt(dep: Deployment, transaction_id: str) -> Ruling:
+    return dep.arbitrator.rule_on_missing_receipt(
+        transaction_id,
+        dep.provider.name,
+        dep.ttp.name,
+        dep.client.evidence_store.for_transaction(transaction_id),
+        dep.provider.evidence_store.for_transaction(transaction_id),
+    )

@@ -1,0 +1,272 @@
+"""Bob — the TPNR cloud-storage-provider role (paper §4).
+
+An honest Bob verifies each upload's hash and NRO, stores the data,
+and answers with an NRR; serves downloads with a fresh NRR over exactly
+the bytes he returns; answers Abort requests; and replies to TTP
+Resolve queries.
+
+:class:`ProviderBehavior` configures the *dishonest* variants the
+paper's scenarios need: the silent provider that pockets the NRO and
+never sends the NRR (the fairness attack the Resolve model exists
+for), the provider that tampers with stored data (Fig. 5 / the
+Eve-tampers dispute), and the provider that stonewalls the TTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import digest
+from ..crypto.pki import Identity, KeyRegistry
+from ..net.network import Envelope
+from ..storage.auditlog import AuditLog
+from ..storage.blobstore import BlobStore
+from ..storage.tamper import TamperMode, apply_tamper
+from .messages import Flag, ResolveAction, TpnrMessage
+from .party import TpnrParty
+from .policy import DEFAULT_POLICY, TpnrPolicy
+from .transaction import TransactionRecord, TxStatus
+
+__all__ = ["ProviderBehavior", "TpnrProvider"]
+
+_CONTAINER = "tpnr-data"
+
+
+@dataclass(frozen=True)
+class ProviderBehavior:
+    """Dishonesty knobs; the default is a fully honest provider."""
+
+    silent_on_upload: bool = False  # keep NRO, never send NRR (unfairness)
+    silent_on_download: bool = False
+    silent_to_ttp: bool = False  # ignore Resolve queries
+    reject_abort: bool = False
+    tamper_mode: TamperMode = TamperMode.NONE  # applied after upload completes
+    resolve_action: ResolveAction = ResolveAction.CONTINUE
+
+    @property
+    def honest(self) -> bool:
+        return (
+            not self.silent_on_upload
+            and not self.silent_on_download
+            and not self.silent_to_ttp
+            and not self.reject_abort
+            and self.tamper_mode is TamperMode.NONE
+        )
+
+
+HONEST = ProviderBehavior()
+
+
+class TpnrProvider(TpnrParty):
+    """The cloud storage provider role ("Eve"/"Bob" in the paper)."""
+
+    def __init__(
+        self,
+        identity: Identity,
+        registry: KeyRegistry,
+        rng: HmacDrbg,
+        ttp_name: str = "ttp",
+        policy: TpnrPolicy = DEFAULT_POLICY,
+        behavior: ProviderBehavior = HONEST,
+        audit_log: "AuditLog | None" = None,
+    ) -> None:
+        super().__init__(identity, registry, rng, ttp_name, policy)
+        self.behavior = behavior
+        self.store = BlobStore(f"{identity.name}/store")
+        self.withheld_receipts: list[str] = []  # txns where NRR was withheld
+        self.grants: dict[str, set[str]] = {}  # txn -> authorized downloaders
+        # Optional hash-chained audit trail.  Note what it can and
+        # cannot witness: the *service path* (uploads stored, bytes
+        # served) is logged; raw in-storage tampering bypasses the
+        # service and is only caught when the tampered bytes are next
+        # served — which is exactly the forensic narrowing the audit
+        # log exists for.
+        self.audit_log = audit_log
+
+    def _audit(self, operation: str, key: str, data: bytes) -> None:
+        if self.audit_log is not None:
+            self.audit_log.append(operation, _CONTAINER, key, data, at_time=self.now)
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, envelope: Envelope) -> None:
+        message = envelope.payload
+        if not isinstance(message, TpnrMessage):
+            self.reject(envelope.kind, "not a TPNR message")
+            return
+        try:
+            opened = self.validate_and_open(message)
+        except Exception as exc:
+            self.reject(envelope.kind, f"{type(exc).__name__}: {exc}")
+            return
+        flag = message.header.flag
+        if flag is Flag.UPLOAD:
+            self._handle_upload(message, opened)
+        elif flag is Flag.DOWNLOAD_REQUEST:
+            self._handle_download_request(message, opened)
+        elif flag is Flag.DOWNLOAD_ACK:
+            self.evidence_store.add(opened)
+        elif flag is Flag.GRANT:
+            self._handle_grant(message, opened)
+        elif flag is Flag.ABORT:
+            self._handle_abort(message, opened)
+        elif flag is Flag.RESOLVE_QUERY:
+            self._handle_resolve_query(message, opened)
+        else:
+            self.reject(envelope.kind, f"unexpected flag {flag.value}")
+
+    # -- upload ---------------------------------------------------------------
+
+    def _handle_upload(self, message: TpnrMessage, opened) -> None:
+        header = message.header
+        data = message.data or b""
+        if digest("sha256", data) != header.data_hash:
+            # "Service Provider verifies the data with MD5; if it is
+            # valid..." — here with SHA-256; invalid uploads are refused.
+            self.reject("tpnr.upload", "payload hash mismatch")
+            return
+        transaction_id = header.transaction_id
+        self.evidence_store.add(opened)  # Alice's NRO
+        self.store.put(_CONTAINER, transaction_id, data, at_time=self.now)
+        self._audit("put", transaction_id, data)
+        record = TransactionRecord(
+            transaction_id=transaction_id,
+            role="provider",
+            peer=header.sender_id,
+            data_hash=header.data_hash,
+            data_size=len(data),
+            started_at=self.now,
+        )
+        self.transactions[transaction_id] = record
+        if self.behavior.tamper_mode is not TamperMode.NONE:
+            apply_tamper(self.store, _CONTAINER, transaction_id,
+                         self.behavior.tamper_mode, self.rng)
+        if self.behavior.silent_on_upload:
+            # Bob pockets the NRO and never answers — the unfair move
+            # the Resolve sub-protocol exists to punish.
+            self.withheld_receipts.append(transaction_id)
+            return
+        self._send_upload_receipt(transaction_id)
+        record.finish(TxStatus.COMPLETED, self.now)
+
+    def _send_upload_receipt(self, transaction_id: str) -> None:
+        record = self.transactions[transaction_id]
+        receipt_header = self.make_header(
+            Flag.UPLOAD_RECEIPT, record.peer, transaction_id, record.data_hash
+        )
+        self.send(record.peer, "tpnr.upload.receipt", self.make_message(receipt_header))
+
+    # -- download ----------------------------------------------------------------
+
+    def _handle_grant(self, message: TpnrMessage, opened) -> None:
+        """Record a signed access grant from the transaction's owner."""
+        transaction_id = message.header.transaction_id
+        record = self.transactions.get(transaction_id)
+        if record is None or record.peer != message.header.sender_id:
+            self.reject("tpnr.grant", "grant not from the transaction owner")
+            return
+        grantee = message.annotation("grantee")
+        if not grantee:
+            self.reject("tpnr.grant", "grant missing grantee")
+            return
+        self.evidence_store.add(opened)  # owner-signed grant (non-repudiable)
+        self.grants.setdefault(transaction_id, set()).add(grantee)
+        ack_header = self.make_header(
+            Flag.GRANT_ACK, record.peer, transaction_id, record.data_hash
+        )
+        self.send(record.peer, "tpnr.grant.ack",
+                  self.make_message(ack_header, annotations=(("grantee", grantee),)))
+
+    def _handle_download_request(self, message: TpnrMessage, opened) -> None:
+        transaction_id = message.header.transaction_id
+        record = self.transactions.get(transaction_id)
+        if record is None:
+            self.reject("tpnr.download.request", f"unknown transaction {transaction_id}")
+            return
+        requester = message.header.sender_id
+        if requester != record.peer and requester not in self.grants.get(transaction_id, ()):
+            self.reject("tpnr.download.request",
+                        f"{requester} is not authorized for {transaction_id}")
+            return
+        self.evidence_store.add(opened)  # the requester's download NRO
+        if self.behavior.silent_on_download:
+            self.withheld_receipts.append(transaction_id)
+            return
+        obj = self.store.get(_CONTAINER, transaction_id)
+        served = obj.data
+        self._audit("get", transaction_id, served)
+        # Bob signs the hash of *exactly what he serves* — an honest
+        # signature over possibly-tampered bytes, which is precisely
+        # what lets the Arbitrator attribute fault later.
+        response_header = self.make_header(
+            Flag.DOWNLOAD_RESPONSE,
+            message.header.sender_id,
+            transaction_id,
+            digest("sha256", served),
+        )
+        response = self.make_message(response_header, data=served)
+        self.send(message.header.sender_id, "tpnr.download.response", response)
+
+    # -- abort (§4.2) ---------------------------------------------------------------
+
+    def _handle_abort(self, message: TpnrMessage, opened) -> None:
+        transaction_id = message.header.transaction_id
+        client = message.header.sender_id
+        record = self.transactions.get(transaction_id)
+        if record is None or record.data_hash != message.header.data_hash:
+            # Inconsistent request: ask Alice to double-check the
+            # parameters, regenerate, and resubmit (§4.2).
+            error_header = self.make_header(
+                Flag.ABORT_ERROR, client, transaction_id, message.header.data_hash
+            )
+            self.send(client, "tpnr.abort.reply", self.make_message(error_header))
+            return
+        self.evidence_store.add(opened)  # the abort NRO
+        decision_flag = Flag.ABORT_REJECT if self.behavior.reject_abort else Flag.ABORT_ACCEPT
+        reply_header = self.make_header(decision_flag, client, transaction_id, record.data_hash)
+        self.send(client, "tpnr.abort.reply", self.make_message(reply_header))
+        if decision_flag is Flag.ABORT_ACCEPT and record.status is TxStatus.PENDING:
+            record.finish(TxStatus.ABORTED, self.now, "abort accepted")
+        elif decision_flag is Flag.ABORT_ACCEPT and record.status is TxStatus.COMPLETED:
+            # Upload already finished on Bob's side; record the abort
+            # agreement without rewriting history.
+            record.detail = "abort accepted post-completion"
+
+    # -- resolve (§4.3) -----------------------------------------------------------------
+
+    def _handle_resolve_query(self, message: TpnrMessage, opened) -> None:
+        """The TTP asks on Alice's behalf; answer through the TTP."""
+        transaction_id = message.header.transaction_id
+        self.evidence_store.add(opened)  # TTP's signed query (with timestamp)
+        if self.behavior.silent_to_ttp:
+            return
+        client = message.annotation("requester")
+        record = self.transactions.get(transaction_id)
+        if record is None:
+            action = ResolveAction.RESTART  # never saw the upload: restart session
+            data_hash = message.header.data_hash
+        elif client != record.peer and client not in self.grants.get(transaction_id, ()):
+            # A stranger must not be able to extract an NRR (or even
+            # the data hash) for someone else's transaction by filing
+            # a resolve request with the TTP.
+            action = ResolveAction.REFUSE
+            data_hash = message.header.data_hash
+        else:
+            action = self.behavior.resolve_action
+            data_hash = record.data_hash
+        # The NRR must be readable by *Alice*, so it is encrypted to
+        # her even though the message travels via the TTP.
+        reply_header = self.make_header(
+            Flag.RESOLVE_REPLY, self.ttp_name, transaction_id, data_hash
+        )
+        reply = self.make_message(
+            reply_header,
+            annotations=(("action", action.value), ("requester", client)),
+            evidence_recipient=client if client else None,
+        )
+        self.send(self.ttp_name, "tpnr.resolve.reply", reply)
+        if record is not None and record.status is TxStatus.PENDING:
+            record.finish(TxStatus.RESOLVED, self.now, "resolved via TTP")

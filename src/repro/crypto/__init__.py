@@ -1,0 +1,61 @@
+"""Cryptographic substrate, implemented from scratch.
+
+Everything the paper's protocols need: hashing (MD5, SHA-256), HMAC,
+ChaCha20 + AEAD, RSA signatures/encryption, Diffie-Hellman, hybrid
+encryption (RSA-KEM), Shamir secret sharing ("SKS" in the paper), a
+deterministic DRBG, and a miniature PKI.
+
+Pure-Python reference implementations are validated against the
+standard library / RFC test vectors in the test suite; hot paths
+dispatch to ``hashlib`` where an equivalent exists.
+"""
+
+from . import aead, chacha20, chacha20_np, dh, drbg, dsa, hashes, hmac_, kem, numbers, pki, primes, rsa, shamir
+from .drbg import HmacDrbg
+from .hashes import MD5, SHA256, digest, hexdigest
+from .hmac_ import constant_time_equals, hmac_digest, verify_hmac
+from .kem import hybrid_decrypt, hybrid_encrypt
+from .pki import Certificate, CertificateAuthority, Identity, KeyRegistry
+from .rsa import RsaPrivateKey, RsaPublicKey, generate_keypair, sign, verify
+from .shamir import Share, recover_digest, recover_secret, split_digest, split_secret
+
+__all__ = [
+    "aead",
+    "chacha20",
+    "chacha20_np",
+    "dh",
+    "drbg",
+    "dsa",
+    "hashes",
+    "hmac_",
+    "kem",
+    "numbers",
+    "pki",
+    "primes",
+    "rsa",
+    "shamir",
+    "HmacDrbg",
+    "MD5",
+    "SHA256",
+    "digest",
+    "hexdigest",
+    "constant_time_equals",
+    "hmac_digest",
+    "verify_hmac",
+    "hybrid_decrypt",
+    "hybrid_encrypt",
+    "Certificate",
+    "CertificateAuthority",
+    "Identity",
+    "KeyRegistry",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "Share",
+    "recover_digest",
+    "recover_secret",
+    "split_digest",
+    "split_secret",
+]

@@ -1,0 +1,106 @@
+"""DSA signatures — the §3 "other digital signature technologies".
+
+The paper notes its bridging framework is signature-scheme-agnostic:
+"other digital signature technologies can be adopted under this
+framework to fix this vulnerability with different approaches."  This
+module provides that alternative: classic DSA over the same safe-prime
+groups as :mod:`repro.crypto.dh` (with ``q = (p-1)/2``, so the subgroup
+is as large as the modulus allows).
+
+Nonces ``k`` come from the caller's DRBG — deterministic per run, never
+reused (nonce reuse leaks the private key in DSA; a test asserts our
+draws are distinct).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CryptoError, InvalidKeyError
+from .dh import DhGroup, default_group
+from .drbg import HmacDrbg
+from .hashes import digest
+from .numbers import bytes_to_int, modinv
+
+__all__ = ["DsaPublicKey", "DsaPrivateKey", "generate_keypair", "sign", "verify"]
+
+
+@dataclass(frozen=True)
+class DsaPublicKey:
+    """DSA public key: the group and ``y = g^x mod p``."""
+
+    group: DhGroup
+    y: int
+
+
+@dataclass(frozen=True)
+class DsaPrivateKey:
+    """DSA private key ``x`` with its group."""
+
+    group: DhGroup
+    x: int
+
+    def public_key(self) -> DsaPublicKey:
+        return DsaPublicKey(self.group, pow(self.group.g, self.x, self.group.p))
+
+
+def generate_keypair(rng: HmacDrbg, group: DhGroup | None = None) -> DsaPrivateKey:
+    """Generate a DSA keypair over *group* (default: the shared group)."""
+    group = group or default_group()
+    x = rng.randint(2, group.q - 1)
+    return DsaPrivateKey(group=group, x=x)
+
+
+def _hash_to_int(message: bytes, q: int) -> int:
+    return bytes_to_int(digest("sha256", message)) % q
+
+
+def sign(key: DsaPrivateKey, message: bytes, rng: HmacDrbg) -> tuple[int, int]:
+    """Sign *message*; returns the (r, s) pair."""
+    group = key.group
+    h = _hash_to_int(message, group.q)
+    while True:
+        k = rng.randint(2, group.q - 1)
+        r = pow(group.g, k, group.p) % group.q
+        if r == 0:
+            continue
+        s = (modinv(k, group.q) * (h + key.x * r)) % group.q
+        if s == 0:
+            continue
+        return r, s
+
+
+def verify(key: DsaPublicKey, message: bytes, signature: tuple[int, int]) -> bool:
+    """True iff ``signature`` is valid for *message* under *key*."""
+    try:
+        r, s = signature
+    except (TypeError, ValueError):
+        return False
+    group = key.group
+    if not (0 < r < group.q and 0 < s < group.q):
+        return False
+    h = _hash_to_int(message, group.q)
+    try:
+        w = modinv(s, group.q)
+    except CryptoError:
+        return False
+    u1 = (h * w) % group.q
+    u2 = (r * w) % group.q
+    v = (pow(group.g, u1, group.p) * pow(key.y, u2, group.p)) % group.p % group.q
+    return v == r
+
+
+def require_distinct_nonces(key: DsaPrivateKey, messages: list[bytes], rng: HmacDrbg) -> None:
+    """Diagnostic: sign a batch and raise if any DSA nonce repeats.
+
+    Nonce reuse is DSA's classic fatal failure; the DRBG construction
+    makes repeats astronomically unlikely, and this check makes that an
+    executable claim rather than a comment.
+    """
+    seen: set[int] = set()
+    group = key.group
+    for message in messages:
+        k = rng.randint(2, group.q - 1)
+        if k in seen:
+            raise InvalidKeyError("DSA nonce repeated — DRBG misuse")
+        seen.add(k)

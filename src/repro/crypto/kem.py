@@ -1,0 +1,50 @@
+"""Hybrid public-key encryption: RSA-KEM + ChaCha20/HMAC AEAD.
+
+The paper encrypts evidence "with the recipient's public key" (§4.1).
+Evidence objects are larger than one RSA block, so — as any real
+implementation would — we wrap a fresh symmetric key with RSA and seal
+the payload with the AEAD.  Wire format::
+
+    len(wrapped_key) (2 bytes, big endian) || wrapped_key || sealed_box
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import DecryptionError
+from . import aead, rsa
+from .chacha20 import NONCE_SIZE
+from .drbg import HmacDrbg
+
+__all__ = ["hybrid_encrypt", "hybrid_decrypt"]
+
+_KEY_LEN = 32
+
+
+def hybrid_encrypt(
+    public_key: rsa.RsaPublicKey, plaintext: bytes, rng: HmacDrbg, aad: bytes = b""
+) -> bytes:
+    """Encrypt arbitrary-length *plaintext* to *public_key*."""
+    session_key = rng.generate(_KEY_LEN)
+    nonce = rng.generate(NONCE_SIZE)
+    wrapped = rsa.encrypt(public_key, session_key, rng)
+    sealed = aead.seal(session_key, nonce, plaintext, aad)
+    return struct.pack(">H", len(wrapped)) + wrapped + sealed
+
+
+def hybrid_decrypt(
+    private_key: rsa.RsaPrivateKey, blob: bytes, aad: bytes = b""
+) -> bytes:
+    """Decrypt a blob produced by :func:`hybrid_encrypt`."""
+    if len(blob) < 2:
+        raise DecryptionError("hybrid blob too short")
+    (wrapped_len,) = struct.unpack(">H", blob[:2])
+    wrapped = blob[2 : 2 + wrapped_len]
+    sealed = blob[2 + wrapped_len :]
+    if len(wrapped) != wrapped_len:
+        raise DecryptionError("hybrid blob truncated")
+    session_key = rsa.decrypt(private_key, wrapped)
+    if len(session_key) != _KEY_LEN:
+        raise DecryptionError("wrapped session key has wrong length")
+    return aead.open_(session_key, sealed, aad)

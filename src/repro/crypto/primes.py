@@ -1,0 +1,137 @@
+"""Primality testing and prime generation.
+
+Implements deterministic trial division for small candidates and
+Miller-Rabin for large ones, plus generators for random primes, safe
+primes, and the fixed field prime used by Shamir secret sharing.
+
+All randomness is drawn from a caller-supplied DRBG
+(:class:`repro.crypto.drbg.HmacDrbg`) so that key generation is
+reproducible in simulations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import CryptoError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .drbg import HmacDrbg
+
+__all__ = [
+    "SMALL_PRIMES",
+    "MERSENNE_521",
+    "is_prime",
+    "miller_rabin",
+    "generate_prime",
+    "generate_safe_prime",
+    "next_prime",
+]
+
+# Primes below 300, used for cheap trial division before Miller-Rabin.
+SMALL_PRIMES: tuple[int, ...] = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277,
+    281, 283, 293,
+)
+
+#: The Mersenne prime 2**521 - 1; field modulus for Shamir secret sharing
+#: of 256-bit digests (any secret up to 520 bits fits).
+MERSENNE_521: int = (1 << 521) - 1
+
+
+def miller_rabin(n: int, witnesses: list[int]) -> bool:
+    """Miller-Rabin primality test of *n* against explicit *witnesses*.
+
+    Returns False when any witness proves compositeness.  ``n`` must be
+    odd and > 2.
+    """
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+# Deterministic witness set: correct for all n < 3.3 * 10**24, and a
+# strong probabilistic test beyond that.
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def is_prime(n: int, rng: "HmacDrbg | None" = None, rounds: int = 20) -> bool:
+    """Primality test.
+
+    Small candidates use trial division; large ones use Miller-Rabin
+    with the deterministic witness base plus, when *rng* is given,
+    *rounds* extra random witnesses.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    witnesses = list(_DETERMINISTIC_WITNESSES)
+    if rng is not None:
+        witnesses.extend(rng.randint(2, n - 2) for _ in range(rounds))
+    return miller_rabin(n, witnesses)
+
+
+def generate_prime(bits: int, rng: "HmacDrbg") -> int:
+    """Generate a random prime with exactly *bits* bits.
+
+    The top two bits are forced to 1 so that the product of two such
+    primes has exactly ``2 * bits`` bits (needed by RSA key sizing).
+    """
+    if bits < 8:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.randbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_prime(candidate, rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng: "HmacDrbg", max_tries: int = 100000) -> int:
+    """Generate a safe prime ``p = 2q + 1`` with *bits* bits.
+
+    Safe primes make every quadratic residue generate the order-q
+    subgroup, which is what :mod:`repro.crypto.dh` wants.
+    """
+    if bits < 16:
+        raise CryptoError(f"safe prime size too small: {bits} bits")
+    for _ in range(max_tries):
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if is_prime(p, rng):
+            return p
+    raise CryptoError(f"no safe prime found in {max_tries} tries")
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than *n*."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate

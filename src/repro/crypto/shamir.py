@@ -1,0 +1,114 @@
+"""Shamir secret sharing over GF(2**521 - 1).
+
+This is the paper's "secret key sharing technique (SKS)" (§3.2, §3.4):
+after upload, user and provider *share* the agreed MD5 so that neither
+can later substitute a different digest — a dispute is settled by
+pooling shares and reconstructing.  Splitting a 128-bit MD5 (or a
+256-bit SHA-256) needs a field larger than the secret; the Mersenne
+prime 2**521 - 1 comfortably covers both.
+
+Shares are ``(x, y)`` points on a random degree ``k-1`` polynomial with
+the secret as the constant term; any ``k`` shares reconstruct via
+Lagrange interpolation at 0, fewer reveal nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SecretSharingError
+from .drbg import HmacDrbg
+from .numbers import bytes_to_int, int_to_bytes, modinv
+from .primes import MERSENNE_521
+
+__all__ = ["Share", "split_secret", "recover_secret", "split_digest", "recover_digest"]
+
+_PRIME = MERSENNE_521
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.x < _PRIME:
+            raise SecretSharingError(f"share x out of range: {self.x}")
+        if not 0 <= self.y < _PRIME:
+            raise SecretSharingError("share y out of range")
+
+
+def split_secret(secret: int, n_shares: int, threshold: int, rng: HmacDrbg) -> list[Share]:
+    """Split *secret* into *n_shares* shares, any *threshold* recover it."""
+    if not 0 <= secret < _PRIME:
+        raise SecretSharingError("secret out of field range")
+    if threshold < 1:
+        raise SecretSharingError("threshold must be >= 1")
+    if n_shares < threshold:
+        raise SecretSharingError(
+            f"need at least threshold shares: n={n_shares} < k={threshold}"
+        )
+    coefficients = [secret] + [rng.randint(0, _PRIME - 1) for _ in range(threshold - 1)]
+    shares = []
+    for x in range(1, n_shares + 1):
+        y = 0
+        for coeff in reversed(coefficients):  # Horner evaluation
+            y = (y * x + coeff) % _PRIME
+        shares.append(Share(x=x, y=y))
+    return shares
+
+
+def recover_secret(shares: list[Share], threshold: int | None = None) -> int:
+    """Reconstruct the secret from shares via Lagrange interpolation at 0.
+
+    When *threshold* is given, exactly that many (distinct) shares are
+    used; otherwise all supplied shares are.  Wrong or insufficient
+    shares yield a *different* secret, not an error — detecting that is
+    the caller's job (compare against a known digest).
+    """
+    if threshold is not None:
+        shares = shares[:threshold]
+    if not shares:
+        raise SecretSharingError("no shares supplied")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise SecretSharingError("duplicate share x-coordinates")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        num, den = 1, 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            num = (num * (-share_j.x)) % _PRIME
+            den = (den * (share_i.x - share_j.x)) % _PRIME
+        secret = (secret + share_i.y * num * modinv(den, _PRIME)) % _PRIME
+    return secret
+
+
+def split_digest(digest_bytes: bytes, n_shares: int, threshold: int, rng: HmacDrbg) -> list[Share]:
+    """Split a hash digest (<= 65 bytes) into shares."""
+    if len(digest_bytes) > 65:
+        raise SecretSharingError("digest too large for the sharing field")
+    # Prefix a 0x01 length-guard byte so leading zero bytes round-trip.
+    return split_secret(bytes_to_int(b"\x01" + digest_bytes), n_shares, threshold, rng)
+
+
+def recover_digest(shares: list[Share], digest_size: int, threshold: int | None = None) -> bytes:
+    """Inverse of :func:`split_digest`.
+
+    Raises :class:`SecretSharingError` when the recovered value is not
+    a well-formed digest — which is how corrupted or mismatched shares
+    surface (recovery yields a random field element).
+    """
+    value = recover_secret(shares, threshold)
+    try:
+        raw = int_to_bytes(value, digest_size + 1)
+    except Exception as exc:
+        raise SecretSharingError(
+            "recovered value does not fit a digest (bad shares?)"
+        ) from exc
+    if raw[0] != 0x01:
+        raise SecretSharingError("recovered value is not a well-formed digest (bad shares?)")
+    return raw[1:]

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Sub-hierarchies mirror the
+subsystem layout: crypto, network simulation, storage platforms, and the
+non-repudiation protocols.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# Crypto substrate
+# --------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for failures inside :mod:`repro.crypto`."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key object is malformed, of the wrong type, or too small."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted or failed its integrity check."""
+
+
+class SecretSharingError(CryptoError):
+    """Invalid parameters or shares in Shamir secret sharing."""
+
+
+class CertificateError(CryptoError):
+    """A certificate is invalid, expired, or not signed by a trusted CA."""
+
+
+# --------------------------------------------------------------------------
+# Network simulation
+# --------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for failures inside :mod:`repro.net`."""
+
+
+class DeliveryError(NetworkError):
+    """A message could not be delivered (unknown node, closed channel)."""
+
+
+class TimeoutError_(NetworkError):
+    """A protocol step timed out waiting for a response."""
+
+
+class HandshakeError(NetworkError):
+    """The secure-channel handshake failed (bad signature, bad MAC...)."""
+
+
+class RecordError(NetworkError):
+    """A secure-channel record failed its MAC or sequence check."""
+
+
+# --------------------------------------------------------------------------
+# Storage platforms
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for failures inside :mod:`repro.storage`."""
+
+
+class AuthenticationError(StorageError):
+    """A request's credentials (HMAC signature, signed request) are invalid."""
+
+
+class AuthorizationError(StorageError):
+    """Authenticated principal is not allowed to access the resource."""
+
+
+class IntegrityError(StorageError):
+    """A checksum (Content-MD5 etc.) did not match the payload."""
+
+
+class NoSuchObjectError(StorageError):
+    """The requested blob / job / account does not exist."""
+
+
+class ShippingError(StorageError):
+    """A simulated device shipment failed or was lost in transit."""
+
+
+# --------------------------------------------------------------------------
+# Protocols (bridging schemes, TPNR, baselines)
+# --------------------------------------------------------------------------
+
+class ProtocolError(ReproError):
+    """Base class for protocol violations."""
+
+
+class EvidenceError(ProtocolError):
+    """Evidence (NRO/NRR) failed verification or is inconsistent."""
+
+
+class ReplayError(ProtocolError):
+    """A message reused a nonce / sequence number and was rejected."""
+
+
+class StateError(ProtocolError):
+    """A protocol message arrived in a state where it is not legal."""
+
+
+class AbortedError(ProtocolError):
+    """The transaction was aborted (by request or by policy)."""
+
+
+class DisputeError(ProtocolError):
+    """Arbitration could not reach a verdict from the supplied evidence."""

@@ -1,0 +1,101 @@
+"""Channel models: latency, jitter, loss, duplication, corruption.
+
+A :class:`ChannelSpec` describes one direction of a link between two
+nodes.  :meth:`ChannelSpec.sample` rolls the link's dice (from the
+network's DRBG) and returns what happens to one message: the list of
+delivery delays (empty = dropped, two entries = duplicated) and whether
+the payload is corrupted in flight.
+
+Bandwidth is modelled as a serialization delay proportional to message
+size, which is what makes the "protocol time vs shipping time"
+experiment (DESIGN.md S6) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.drbg import HmacDrbg
+from ..errors import NetworkError
+
+__all__ = ["ChannelSpec", "Delivery", "PERFECT", "WAN", "LOSSY"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome for one copy of a message: arrival delay + corruption."""
+
+    delay: float
+    corrupted: bool
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """One-way link characteristics.
+
+    :param base_latency: fixed propagation delay in seconds.
+    :param jitter: maximum extra uniform random delay in seconds.
+    :param bandwidth_bps: serialization rate in bytes/second
+        (``float("inf")`` disables size-dependent delay).
+    :param drop_prob: probability a message copy is silently lost.
+    :param duplicate_prob: probability the message arrives twice.
+    :param corrupt_prob: probability a delivered copy is bit-flipped.
+    """
+
+    base_latency: float = 0.02
+    jitter: float = 0.0
+    bandwidth_bps: float = float("inf")
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.jitter < 0:
+            raise NetworkError("latency parameters must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        for name in ("drop_prob", "duplicate_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise NetworkError(f"{name} must be a probability, got {p}")
+
+    def one_way_delay(self, size_bytes: int, rng: HmacDrbg) -> float:
+        """Latency + jitter + serialization delay for *size_bytes*."""
+        delay = self.base_latency
+        if self.jitter:
+            delay += rng.random() * self.jitter
+        if self.bandwidth_bps != float("inf"):
+            delay += size_bytes / self.bandwidth_bps
+        return delay
+
+    def sample(self, size_bytes: int, rng: HmacDrbg) -> list[Delivery]:
+        """Roll the channel dice for one message.
+
+        Returns zero, one, or two :class:`Delivery` outcomes.
+        """
+        if rng.random() < self.drop_prob:
+            return []
+        deliveries = [
+            Delivery(
+                delay=self.one_way_delay(size_bytes, rng),
+                corrupted=rng.random() < self.corrupt_prob,
+            )
+        ]
+        if self.duplicate_prob and rng.random() < self.duplicate_prob:
+            deliveries.append(
+                Delivery(
+                    delay=self.one_way_delay(size_bytes, rng),
+                    corrupted=rng.random() < self.corrupt_prob,
+                )
+            )
+        return deliveries
+
+
+#: Zero-latency, lossless channel — unit-test default.
+PERFECT = ChannelSpec(base_latency=0.0)
+
+#: A WAN-ish channel: 40 ms one-way, 10 ms jitter, 12.5 MB/s (100 Mbit).
+WAN = ChannelSpec(base_latency=0.040, jitter=0.010, bandwidth_bps=12.5e6)
+
+#: An unreliable channel for failure-injection tests.
+LOSSY = ChannelSpec(base_latency=0.040, jitter=0.020, drop_prob=0.1, duplicate_prob=0.05)

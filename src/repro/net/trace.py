@@ -1,0 +1,78 @@
+"""Message-trace recording.
+
+Every send/deliver/drop on a :class:`repro.net.network.Network` is
+recorded here.  The analysis layer turns traces into the quantities the
+paper talks about: *steps* (protocol messages exchanged), bytes on the
+wire, and end-to-end latency — the basis of the "TPNR takes 2 steps
+where traditional NR takes 4" comparison (paper §4.4, DESIGN.md S4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One network-level occurrence."""
+
+    time: float
+    action: str  # "send" | "deliver" | "drop" | "corrupt" | "inject"
+    src: str
+    dst: str
+    kind: str  # protocol-level message kind, e.g. "tpnr.data+nro"
+    size_bytes: int
+    msg_id: int
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records and summarizes them."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- summaries ----------------------------------------------------------
+
+    def sends(self, kind_prefix: str = "") -> list[TraceEvent]:
+        """All send events whose kind starts with *kind_prefix*."""
+        return [e for e in self.events if e.action == "send" and e.kind.startswith(kind_prefix)]
+
+    def deliveries(self, kind_prefix: str = "") -> list[TraceEvent]:
+        return [e for e in self.events if e.action == "deliver" and e.kind.startswith(kind_prefix)]
+
+    def drops(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.action == "drop"]
+
+    def message_count(self, kind_prefix: str = "") -> int:
+        """Number of protocol messages sent (the paper's "steps")."""
+        return len(self.sends(kind_prefix))
+
+    def bytes_sent(self, kind_prefix: str = "") -> int:
+        return sum(e.size_bytes for e in self.sends(kind_prefix))
+
+    def participants(self) -> set[str]:
+        out: set[str] = set()
+        for e in self.events:
+            out.add(e.src)
+            out.add(e.dst)
+        return out
+
+    def span(self) -> float:
+        """Simulated time between the first and last event."""
+        if not self.events:
+            return 0.0
+        times = [e.time for e in self.events]
+        return max(times) - min(times)
+
+    def sequence(self, action: str = "send") -> list[tuple[str, str, str]]:
+        """Ordered (src, dst, kind) triples — compared against the
+        figure-6 flows in tests and benchmarks."""
+        return [(e.src, e.dst, e.kind) for e in self.events if e.action == action]

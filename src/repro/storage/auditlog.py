@@ -1,0 +1,185 @@
+"""Hash-chained, checkpoint-signed storage audit log.
+
+The paper's future-work direction — continuously *provable* storage
+integrity rather than per-dispute evidence — leads naturally to an
+append-only commitment structure.  This module implements the simplest
+sound one:
+
+* every storage operation appends an :class:`AuditEntry`; each entry's
+  chain hash is ``H(prev_chain_hash || canonical entry bytes)``, so the
+  log commits to its entire history;
+* every *checkpoint_interval* entries the operator signs the current
+  chain head — a :class:`Checkpoint` the operator cannot later disown;
+* :func:`verify_chain` re-derives every hash and checks every
+  checkpoint signature, so truncation, reordering, insertion, or
+  in-place edits after the latest signed checkpoint-covered entry are
+  all detectable by anyone holding the log and the public key.
+
+What this adds over TPNR receipts: a provider can *voluntarily* commit
+to object digests over time, letting an auditor pinpoint *when* a
+stored object changed (between which checkpoints) instead of only that
+it changed somewhere between upload and download.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import rsa
+from ..crypto.hashes import digest
+from ..crypto.pki import Identity, KeyRegistry
+from ..errors import IntegrityError, StorageError
+
+__all__ = ["AuditEntry", "Checkpoint", "AuditLog", "verify_chain"]
+
+_GENESIS = b"\x00" * 32
+_CHECKPOINT_DOMAIN = b"repro-audit-checkpoint|"
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One logged storage operation."""
+
+    index: int
+    at_time: float
+    operation: str  # "put" | "get" | "delete" | custom
+    container: str
+    key: str
+    object_digest: bytes  # digest of the object bytes after the op
+    chain_hash: bytes = b""
+
+    def canonical_bytes(self) -> bytes:
+        return "|".join(
+            [
+                "audit-entry-v1",
+                str(self.index),
+                repr(self.at_time),
+                self.operation,
+                self.container,
+                self.key,
+                self.object_digest.hex(),
+            ]
+        ).encode()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A signed commitment to the chain head at some index."""
+
+    upto_index: int
+    chain_hash: bytes
+    signature: bytes
+
+    def signed_bytes(self) -> bytes:
+        return _CHECKPOINT_DOMAIN + str(self.upto_index).encode() + b"|" + self.chain_hash
+
+
+class AuditLog:
+    """Append-only operation log with periodic signed checkpoints."""
+
+    def __init__(self, operator: Identity, checkpoint_interval: int = 8) -> None:
+        if checkpoint_interval < 1:
+            raise StorageError("checkpoint interval must be >= 1")
+        self.operator = operator
+        self.checkpoint_interval = checkpoint_interval
+        self.entries: list[AuditEntry] = []
+        self.checkpoints: list[Checkpoint] = []
+        self._head = _GENESIS
+
+    def append(
+        self,
+        operation: str,
+        container: str,
+        key: str,
+        object_bytes: bytes,
+        at_time: float = 0.0,
+    ) -> AuditEntry:
+        """Log one operation; auto-checkpoints on the interval."""
+        entry = AuditEntry(
+            index=len(self.entries),
+            at_time=at_time,
+            operation=operation,
+            container=container,
+            key=key,
+            object_digest=digest("sha256", object_bytes),
+        )
+        self._head = digest("sha256", self._head + entry.canonical_bytes())
+        entry = AuditEntry(**{**entry.__dict__, "chain_hash": self._head})
+        self.entries.append(entry)
+        if len(self.entries) % self.checkpoint_interval == 0:
+            self.checkpoint()
+        return entry
+
+    def checkpoint(self) -> Checkpoint:
+        """Sign the current chain head."""
+        if not self.entries:
+            raise StorageError("nothing to checkpoint")
+        checkpoint = Checkpoint(
+            upto_index=len(self.entries) - 1,
+            chain_hash=self._head,
+            signature=b"",
+        )
+        signature = rsa.sign(self.operator.private_key, checkpoint.signed_bytes())
+        checkpoint = Checkpoint(
+            upto_index=checkpoint.upto_index,
+            chain_hash=checkpoint.chain_hash,
+            signature=signature,
+        )
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    # -- query helpers ----------------------------------------------------
+
+    def digest_history(self, container: str, key: str) -> list[AuditEntry]:
+        """All logged states of one object, oldest first."""
+        return [e for e in self.entries if e.container == container and e.key == key]
+
+    def last_change_between_checkpoints(
+        self, container: str, key: str, expected_digest: bytes
+    ) -> tuple[int | None, int | None]:
+        """Narrow down when an object stopped matching *expected_digest*.
+
+        Returns (last_matching_index, first_mismatching_index); either
+        side may be None.
+        """
+        last_match = first_mismatch = None
+        for entry in self.digest_history(container, key):
+            if entry.object_digest == expected_digest:
+                last_match = entry.index
+            elif first_mismatch is None and (last_match is None or entry.index > last_match):
+                first_mismatch = entry.index
+        return last_match, first_mismatch
+
+
+def verify_chain(
+    entries: list[AuditEntry],
+    checkpoints: list[Checkpoint],
+    registry: KeyRegistry,
+    operator_name: str,
+) -> int:
+    """Verify an exported log.
+
+    Re-derives the hash chain from genesis and validates every
+    checkpoint signature against the chain.  Returns the highest entry
+    index covered by a valid checkpoint (-1 if none); raises
+    :class:`IntegrityError` on any inconsistency.
+    """
+    head = _GENESIS
+    for position, entry in enumerate(entries):
+        if entry.index != position:
+            raise IntegrityError(f"entry index {entry.index} out of order at {position}")
+        head = digest("sha256", head + entry.canonical_bytes())
+        if entry.chain_hash != head:
+            raise IntegrityError(f"chain hash mismatch at entry {position}")
+    public = registry.lookup(operator_name)
+    covered = -1
+    for checkpoint in checkpoints:
+        if checkpoint.upto_index >= len(entries):
+            raise IntegrityError("checkpoint refers past the end of the log (truncation?)")
+        expected_head = entries[checkpoint.upto_index].chain_hash
+        if checkpoint.chain_hash != expected_head:
+            raise IntegrityError(f"checkpoint at {checkpoint.upto_index} does not match the chain")
+        if not rsa.verify(public, checkpoint.signed_bytes(), checkpoint.signature):
+            raise IntegrityError(f"checkpoint signature invalid at {checkpoint.upto_index}")
+        covered = max(covered, checkpoint.upto_index)
+    return covered

@@ -1,0 +1,108 @@
+"""Surface-mail shipping of storage devices (paper §2.1, §6).
+
+AWS Import/Export moves bulk data by shipping physical devices
+("Cloud storage is only attractive to large volume (TB) data backup...
+normally adopt the surface mail as the ship method (FedEx, etc)").
+The S6 experiment compares protocol time against these transit times,
+so the carrier model is a first-class substrate: transit time is days,
+drawn deterministically from the run's DRBG, with optional loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..crypto.drbg import HmacDrbg
+from ..errors import ShippingError, StorageError
+from ..net.events import Simulator
+
+__all__ = ["StorageDevice", "ShippingCarrier", "CarrierSpec", "DAY_SECONDS"]
+
+DAY_SECONDS = 86_400.0
+
+
+@dataclass
+class StorageDevice:
+    """A portable storage device: payload files plus attached metadata
+    (the AWS flow tapes the *signature file* to the device)."""
+
+    device_id: str
+    capacity_bytes: int
+    files: dict[str, bytes] = field(default_factory=dict)
+    attached_documents: dict[str, bytes] = field(default_factory=dict)
+
+    def used_bytes(self) -> int:
+        return sum(len(v) for v in self.files.values())
+
+    def write_file(self, name: str, data: bytes) -> None:
+        projected = self.used_bytes() - len(self.files.get(name, b"")) + len(data)
+        if projected > self.capacity_bytes:
+            raise StorageError(
+                f"device {self.device_id} full: {projected} > {self.capacity_bytes} bytes"
+            )
+        self.files[name] = data
+
+    def wipe(self) -> None:
+        self.files.clear()
+
+
+@dataclass(frozen=True)
+class CarrierSpec:
+    """Transit-time distribution: uniform in [min_days, max_days]."""
+
+    name: str = "ground"
+    min_days: float = 2.0
+    max_days: float = 5.0
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_days < 0 or self.max_days < self.min_days:
+            raise ShippingError("invalid transit-day range")
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ShippingError("loss_prob must be a probability")
+
+    def sample_transit_seconds(self, rng: HmacDrbg) -> float:
+        span = self.max_days - self.min_days
+        days = self.min_days + rng.random() * span
+        return days * DAY_SECONDS
+
+
+#: Typical service levels, used by the S6 sweep.
+GROUND = CarrierSpec("ground", 3.0, 7.0)
+EXPRESS = CarrierSpec("express", 1.0, 2.0)
+OVERNIGHT = CarrierSpec("overnight", 0.8, 1.2)
+
+
+class ShippingCarrier:
+    """Schedules device arrivals on the discrete-event simulator."""
+
+    def __init__(self, sim: Simulator, rng: HmacDrbg, spec: CarrierSpec = GROUND) -> None:
+        self.sim = sim
+        self._rng = rng.fork(f"carrier/{spec.name}")
+        self.spec = spec
+        self.shipments_sent = 0
+        self.shipments_lost = 0
+
+    def ship(
+        self,
+        device: StorageDevice,
+        origin: str,
+        destination: str,
+        on_arrival: Callable[[StorageDevice], None],
+        on_lost: Callable[[StorageDevice], None] | None = None,
+    ) -> float:
+        """Dispatch *device*; returns the sampled transit seconds.
+
+        ``on_arrival`` fires at the arrival time; lost shipments fire
+        ``on_lost`` (if given) at the would-be arrival time instead.
+        """
+        self.shipments_sent += 1
+        transit = self.spec.sample_transit_seconds(self._rng)
+        if self._rng.random() < self.spec.loss_prob:
+            self.shipments_lost += 1
+            if on_lost is not None:
+                self.sim.schedule(transit, lambda: on_lost(device))
+            return transit
+        self.sim.schedule(transit, lambda: on_arrival(device))
+        return transit

@@ -1,0 +1,84 @@
+"""The ASCII sequence-diagram renderer."""
+
+import pytest
+
+from repro.analysis.diagram import sequence_diagram
+from repro.core import ProviderBehavior, make_deployment, run_upload
+from repro.errors import ReproError
+from repro.net.trace import TraceEvent, TraceRecorder
+
+
+def trace_of(*triples):
+    recorder = TraceRecorder()
+    for i, (src, dst, kind) in enumerate(triples):
+        recorder.record(TraceEvent(float(i), "send", src, dst, kind, 10, i))
+    return recorder
+
+
+class TestRendering:
+    def test_empty(self):
+        assert sequence_diagram(TraceRecorder()) == "(no messages)"
+
+    def test_header_order_first_appearance(self):
+        trace = trace_of(("a", "b", "m1"), ("c", "a", "m2"))
+        header = sequence_diagram(trace).split("\n")[0]
+        assert header.index("a") < header.index("b") < header.index("c")
+
+    def test_explicit_participant_order(self):
+        trace = trace_of(("a", "b", "m1"))
+        header = sequence_diagram(trace, participants=["b", "a"]).split("\n")[0]
+        assert header.index("b") < header.index("a")
+
+    def test_one_line_per_send(self):
+        trace = trace_of(("a", "b", "m1"), ("b", "a", "m2"), ("a", "b", "m3"))
+        lines = sequence_diagram(trace).split("\n")
+        assert len(lines) == 1 + 3
+
+    def test_arrow_directions(self):
+        trace = trace_of(("a", "b", "fwd"), ("b", "a", "rev"))
+        lines = sequence_diagram(trace, show_time=False).split("\n")
+        assert "->" in lines[1] and "<-" not in lines[1]
+        assert "<-" in lines[2] and "->" not in lines[2]
+
+    def test_labels_present(self):
+        trace = trace_of(("a", "b", "proto.hello"))
+        text = sequence_diagram(trace)
+        assert "proto.hello" in text
+
+    def test_prefix_stripped(self):
+        trace = trace_of(("a", "b", "proto.hello"))
+        text = sequence_diagram(trace, kind_prefix="proto.")
+        assert "hello" in text and "proto.hello" not in text
+
+    def test_missing_participant_rejected(self):
+        trace = trace_of(("a", "b", "m"))
+        with pytest.raises(ReproError):
+            sequence_diagram(trace, participants=["a"])
+
+    def test_timestamps_toggle(self):
+        trace = trace_of(("a", "b", "m"))
+        assert "t=0.000" in sequence_diagram(trace)
+        assert "t=" not in sequence_diagram(trace, show_time=False)
+
+
+class TestProtocolDiagrams:
+    def test_normal_mode_diagram_matches_fig6b(self):
+        dep = make_deployment(seed=b"diag-normal")
+        run_upload(dep, b"payload")
+        text = sequence_diagram(dep.network.trace, "tpnr.",
+                                participants=["alice", "bob", "ttp"])
+        lines = text.split("\n")
+        assert len(lines) == 3  # header + upload + receipt: off-line TTP
+        assert "upload" in lines[1]
+        assert "upload.receipt" in lines[2]
+
+    def test_resolve_mode_diagram_matches_fig6c(self):
+        dep = make_deployment(seed=b"diag-resolve",
+                              behavior=ProviderBehavior(silent_on_upload=True))
+        run_upload(dep, b"payload")
+        text = sequence_diagram(dep.network.trace, "tpnr.",
+                                participants=["alice", "bob", "ttp"])
+        assert "resolve.request" in text
+        assert "resolve.query" in text
+        assert "resolve.repl" in text  # label may be clipped to lane width
+        assert "resolve.result" in text

@@ -1,0 +1,150 @@
+"""Every experiment runner reproduces its paper artifact's shape."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_attacks,
+    experiment_bridging,
+    experiment_fig1,
+    experiment_fig2,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_shipping,
+    experiment_step_counts,
+    experiment_table1,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return experiment_table1()
+
+    def test_put_and_get_succeed(self, result):
+        assert result.facts["put_ok"] and result.facts["get_ok"]
+
+    def test_forged_auth_rejected(self, result):
+        assert result.facts["forged_rejected"]
+
+    def test_md5_round_trips(self, result):
+        assert result.facts["md5_round_tripped"]
+
+    def test_rendered_requests_match_table1_layout(self, result):
+        put = result.facts["put_rendered"]
+        assert put.startswith("PUT http://")
+        assert "Content-MD5: " in put
+        assert "Authorization: SharedKey jerry:" in put
+        assert "x-ms-date: " in put
+        get = result.facts["get_rendered"]
+        assert get.startswith("GET http://")
+        assert "Authorization: SharedKey jerry:" in get
+
+
+class TestFig1:
+    def test_all_requests_answered(self):
+        result = experiment_fig1(n_clients=4, n_services=2, requests_per_client=3)
+        assert result.facts["all_answered"]
+        assert result.facts["total_requests"] == 12
+
+
+class TestFig2:
+    def test_import_jobs_verified(self):
+        result = experiment_fig2(file_sizes=(1 << 12, 1 << 14))
+        assert result.facts["all_jobs_completed"]
+        assert result.facts["jobs"] == 2
+
+
+class TestFig3:
+    def test_azure_flow(self):
+        facts = experiment_fig3().facts
+        assert facts["round_trip_ok"]
+        assert facts["wrong_key_rejected"]
+        assert facts["secret_key_bits"] == 256
+
+
+class TestFig4:
+    def test_sdc_pipeline(self):
+        facts = experiment_fig4().facts
+        assert facts["authorized_allowed"]
+        assert facts["rule_enforced"]
+        assert facts["tunnel_enforced"]
+        assert facts["replay_blocked"]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def facts(self):
+        return experiment_fig5(trials=3).facts
+
+    def test_azure_detects_naive_only(self, facts):
+        assert facts["stored/bit-flip/detection"] == 1.0
+        assert facts["stored/replace/detection"] == 1.0
+        assert facts["stored/fixup-md5/detection"] == 0.0
+
+    def test_aws_detects_nothing(self, facts):
+        for mode in ("bit-flip", "replace", "fixup-md5"):
+            assert facts[f"recomputed/{mode}/detection"] == 0.0
+
+    def test_tpnr_detects_and_attributes_everything(self, facts):
+        for mode in ("bit-flip", "replace", "fixup-md5"):
+            assert facts[f"tpnr/{mode}/detection"] == 1.0
+            assert facts[f"tpnr/{mode}/attribution"] == 1.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def facts(self):
+        return experiment_fig6().facts
+
+    def test_normal_two_steps_offline_ttp(self, facts):
+        assert facts["normal_steps"] == 2
+        assert facts["normal_offline_ttp"]
+
+    def test_abort_without_ttp(self, facts):
+        assert facts["abort_status"] == "aborted"
+        assert facts["abort_offline_ttp"]
+
+    def test_resolve_inline_ttp(self, facts):
+        assert facts["resolve_status"] == "resolved"
+        assert facts["resolve_inline_ttp"]
+
+    def test_dispute_convicts_tamperer(self, facts):
+        assert facts["dispute_verdict"] == "provider-at-fault"
+
+
+class TestBridging:
+    def test_scheme_matrix(self):
+        facts = experiment_bridging().facts
+        assert facts["plain/tamper_verdict"] == "undetected"
+        for scheme in ("nn", "sks", "tac", "both"):
+            assert facts[f"{scheme}/tamper_verdict"] == "provider-at-fault"
+            assert facts[f"{scheme}/blackmail_verdict"] == "claim-rejected"
+
+
+class TestStepCounts:
+    def test_two_vs_five(self):
+        result = experiment_step_counts(payload_sizes=(1024,))
+        assert result.facts["1024/tpnr_steps"] == 2
+        assert result.facts["1024/zg_steps"] == 5
+        assert result.facts["tpnr_always_fewer_steps"]
+
+    def test_latency_advantage(self):
+        facts = experiment_step_counts(payload_sizes=(1024,)).facts
+        assert facts["1024/tpnr_latency"] < facts["1024/zg_latency"]
+
+
+class TestAttacks:
+    def test_matrix(self):
+        facts = experiment_attacks().facts
+        assert facts["tpnr_defense_holds"]
+        assert facts["weakened_all_fall"]
+
+
+class TestShipping:
+    def test_protocol_is_trivial(self):
+        facts = experiment_shipping(data_sizes_tb=(1.0,)).facts
+        assert facts["protocol_is_trivial"]
+        assert facts["max_fraction"] < 1e-3
+        assert facts["protocol_seconds"] > 0

@@ -1,0 +1,74 @@
+"""The status-quo SSL-only baseline."""
+
+import pytest
+
+from repro.baselines.ssl_only import SslOnlyPlatform
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import digest
+from repro.errors import StorageError
+from repro.storage.tamper import TamperMode
+
+
+@pytest.fixture
+def rng():
+    return HmacDrbg(b"ssl-only-tests")
+
+
+class TestHonestPath:
+    @pytest.mark.parametrize("mode", ["stored", "recomputed"])
+    def test_round_trip(self, rng, mode):
+        platform = SslOnlyPlatform(rng, md5_mode=mode)
+        key = platform.upload(b"untampered data")
+        result = platform.download(key)
+        assert result.downloaded == b"untampered data"
+        assert not result.detected_mismatch
+        assert not result.can_attribute
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(StorageError):
+            SslOnlyPlatform(rng, md5_mode="magic")
+
+    def test_keys_unique(self, rng):
+        platform = SslOnlyPlatform(rng)
+        assert platform.upload(b"a") != platform.upload(b"b")
+
+
+class TestTampering:
+    def test_stored_mode_detects_naive_tamper(self, rng):
+        platform = SslOnlyPlatform(rng, md5_mode="stored")
+        key = platform.upload(b"data " * 20)
+        platform.tamper(key, TamperMode.REPLACE)
+        assert platform.download(key).detected_mismatch
+
+    def test_stored_mode_misses_coverup(self, rng):
+        platform = SslOnlyPlatform(rng, md5_mode="stored")
+        key = platform.upload(b"data " * 20)
+        platform.tamper(key, TamperMode.FIXUP_MD5)
+        assert not platform.download(key).detected_mismatch
+
+    def test_recomputed_mode_misses_everything(self, rng):
+        """The AWS behaviour: recomputed MD5 always matches."""
+        platform = SslOnlyPlatform(rng, md5_mode="recomputed")
+        for mode in (TamperMode.BIT_FLIP, TamperMode.REPLACE, TamperMode.FIXUP_MD5):
+            key = platform.upload(b"data " * 20)
+            platform.tamper(key, mode)
+            assert not platform.download(key).detected_mismatch
+
+    def test_diligent_user_detects_but_cannot_attribute(self, rng):
+        """A user who kept the MD5 detects even in recomputed mode —
+        but still has no proof of who changed the data."""
+        platform = SslOnlyPlatform(rng, md5_mode="recomputed")
+        data = b"data " * 20
+        key = platform.upload(data)
+        kept = digest("md5", data)
+        platform.tamper(key, TamperMode.REPLACE)
+        result = platform.download(key, user_kept_md5=kept)
+        assert result.detected_mismatch
+        assert not result.can_attribute
+
+    def test_attribution_never_possible(self, rng):
+        for mode in ("stored", "recomputed"):
+            platform = SslOnlyPlatform(rng, md5_mode=mode)
+            key = platform.upload(b"x" * 50)
+            platform.tamper(key, TamperMode.REPLACE)
+            assert not platform.download(key).can_attribute

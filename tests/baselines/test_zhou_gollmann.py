@@ -1,0 +1,111 @@
+"""The traditional four-step NR baseline."""
+
+import pytest
+
+from repro.baselines.zhou_gollmann import ZgClient, ZgOnlineTtp, ZgProvider
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from repro.net.channel import ChannelSpec
+from repro.net.events import Simulator
+from repro.net.network import Network
+
+
+def make_world(seed=b"zg-tests", channel=ChannelSpec(base_latency=0.01)):
+    rng = HmacDrbg(seed)
+    sim = Simulator()
+    network = Network(sim, rng, channel)
+    ca = CertificateAuthority("ca", rng.fork("ca"))
+    registry = KeyRegistry(ca)
+    identities = {n: Identity.generate(n, rng) for n in ("alice", "bob", "zg-ttp")}
+    for identity in identities.values():
+        registry.enroll(identity)
+    client = ZgClient(identities["alice"], registry, rng)
+    provider = ZgProvider(identities["bob"], registry, rng)
+    ttp = ZgOnlineTtp(identities["zg-ttp"], registry)
+    for node in (client, provider, ttp):
+        network.add_node(node)
+    return sim, network, client, provider, ttp
+
+
+class TestHappyPath:
+    def test_exchange_completes(self):
+        sim, _, client, provider, _ = make_world()
+        label = client.exchange("bob", b"the data")
+        sim.run()
+        assert client.outcomes[label].complete
+        assert provider.received[label] == b"the data"
+
+    def test_five_messages_with_online_ttp(self):
+        """The §4.4 comparison point: TTP on the path, 5 messages."""
+        sim, network, client, provider, ttp = make_world()
+        client.exchange("bob", b"x")
+        sim.run()
+        assert network.trace.message_count("zg.") == 5
+        assert ttp.confirmations_issued == 1
+        ttp_messages = [e for e in network.trace.sends("zg.")
+                        if "zg-ttp" in (e.src, e.dst)]
+        assert len(ttp_messages) == 3  # submit + 2 confirmations
+
+    def test_evidence_held_by_both(self):
+        sim, _, client, provider, _ = make_world()
+        label = client.exchange("bob", b"x")
+        sim.run()
+        outcome = client.outcomes[label]
+        assert outcome.nrr is not None and outcome.con_k is not None
+        nro, con_k = provider.evidence[label]
+        assert nro and con_k
+
+    def test_provider_cannot_read_before_confirmation(self):
+        """Fairness: B holds only ciphertext until the TTP publishes."""
+        sim, _, client, provider, _ = make_world(channel=ChannelSpec(base_latency=1.0))
+        label = client.exchange("bob", b"fair exchange")
+        sim.run(until=1.5)  # commit delivered, receipt in flight
+        assert label not in provider.received
+        sim.run()
+        assert provider.received[label] == b"fair exchange"
+
+    def test_multiple_exchanges_independent(self):
+        sim, _, client, provider, _ = make_world()
+        l1 = client.exchange("bob", b"first")
+        l2 = client.exchange("bob", b"second")
+        sim.run()
+        assert provider.received[l1] == b"first"
+        assert provider.received[l2] == b"second"
+
+
+class TestTamperResistance:
+    def test_tampered_commit_rejected(self):
+        from dataclasses import replace
+
+        from repro.baselines.zhou_gollmann import ZgCommit
+        from repro.net.adversary import Adversary
+
+        class CommitTamperer(Adversary):
+            def on_intercept(self, envelope):
+                self.seen.append(envelope)
+                if envelope.kind == "zg.commit":
+                    commit = envelope.payload
+                    altered = ZgCommit(
+                        label=commit.label,
+                        ciphertext=commit.ciphertext[:-1] + b"\x00",
+                        nro=commit.nro,
+                    )
+                    self.forward_modified(envelope, payload=altered)
+                else:
+                    self.forward(envelope)
+
+        sim, network, client, provider, _ = make_world()
+        network.install_adversary(CommitTamperer())
+        label = client.exchange("bob", b"x")
+        with pytest.raises(Exception):
+            sim.run()
+        assert label not in provider.received
+
+    def test_latency_is_double_tpnr(self):
+        """ZG needs ~4 serialized legs; TPNR Normal needs 2."""
+        channel = ChannelSpec(base_latency=0.05)
+        sim, network, client, provider, _ = make_world(channel=channel)
+        client.exchange("bob", b"x")
+        sim.run()
+        # legs: commit, receipt, submit, confirm = 4 x 0.05
+        assert sim.now == pytest.approx(0.20)

@@ -1,0 +1,92 @@
+"""The TAC escrow service."""
+
+import pytest
+
+from repro.bridging.tac import MSP_DOMAIN, MSU_DOMAIN, TacService
+from repro.crypto import rsa, shamir
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from repro.errors import DisputeError, EvidenceError
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = HmacDrbg(b"tac-tests")
+    ca = CertificateAuthority("ca", rng)
+    registry = KeyRegistry(ca)
+    user = Identity.generate("alice", rng)
+    provider = Identity.generate("eve", rng)
+    registry.enroll(user)
+    registry.enroll(provider)
+    tac = TacService("tac", registry, rng)
+    return rng, tac, user, provider
+
+
+def signatures(user, provider, md5):
+    msu = rsa.sign(user.private_key, MSU_DOMAIN + md5)
+    msp = rsa.sign(provider.private_key, MSP_DOMAIN + md5)
+    return msu, msp
+
+
+class TestDeposits:
+    def test_valid_deposit(self, world):
+        _, tac, user, provider = world
+        md5 = bytes(range(16))
+        msu, msp = signatures(user, provider, md5)
+        tac.deposit_signatures("T1", "alice", "eve", md5, msu, msp)
+        deposit = tac.produce("T1")
+        assert deposit.md5 == md5
+        assert tac.holds("T1")
+
+    def test_bad_msu_rejected(self, world):
+        _, tac, user, provider = world
+        md5 = bytes(range(16))
+        _, msp = signatures(user, provider, md5)
+        with pytest.raises(EvidenceError):
+            tac.deposit_signatures("T2", "alice", "eve", md5, b"\x00" * 64, msp)
+        assert not tac.holds("T2")
+
+    def test_bad_msp_rejected(self, world):
+        _, tac, user, provider = world
+        md5 = bytes(range(16))
+        msu, _ = signatures(user, provider, md5)
+        with pytest.raises(EvidenceError):
+            tac.deposit_signatures("T3", "alice", "eve", md5, msu, b"\x00" * 64)
+
+    def test_signature_for_other_digest_rejected(self, world):
+        _, tac, user, provider = world
+        msu, msp = signatures(user, provider, bytes(16))
+        with pytest.raises(EvidenceError):
+            tac.deposit_signatures("T4", "alice", "eve", bytes(range(16)), msu, msp)
+
+    def test_produce_unknown(self, world):
+        _, tac, _, _ = world
+        with pytest.raises(DisputeError):
+            tac.produce("T-GHOST")
+
+    def test_counters(self, world):
+        _, tac, _, _ = world
+        assert tac.deposits_accepted >= 1
+        assert tac.deposits_rejected >= 3
+
+
+class TestAgreeAndShare:
+    def test_matching_digests_shared(self, world):
+        _, tac, _, _ = world
+        md5 = bytes(range(16))
+        user_share, provider_share = tac.agree_and_share("S1", "alice", "eve", md5, md5)
+        recovered = shamir.recover_digest([user_share, provider_share], 16)
+        assert recovered == md5
+        assert tac.produce("S1").md5 == md5
+
+    def test_mismatched_digests_rejected(self, world):
+        _, tac, _, _ = world
+        with pytest.raises(EvidenceError):
+            tac.agree_and_share("S2", "alice", "eve", bytes(16), bytes(range(16)))
+
+    def test_single_share_insufficient(self, world):
+        _, tac, _, _ = world
+        md5 = bytes(range(16))
+        user_share, _ = tac.agree_and_share("S3", "alice", "eve", md5, md5)
+        with pytest.raises(Exception):
+            shamir.recover_digest([user_share], 16)

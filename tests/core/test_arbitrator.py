@@ -1,0 +1,123 @@
+"""Arbitrator decision rules, including hostile evidence."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core import (
+    ProviderBehavior,
+    Verdict,
+    dispute_tampering,
+    make_deployment,
+    run_download,
+    run_session,
+    run_upload,
+)
+from repro.core.arbitrator import Arbitrator
+from repro.core.messages import Flag
+from repro.storage.tamper import TamperMode
+
+PAYLOAD = b"arbitration payload " * 16
+
+
+@pytest.fixture(scope="module")
+def tampered_world():
+    dep = make_deployment(seed=b"arb-tampered",
+                          behavior=ProviderBehavior(tamper_mode=TamperMode.REPLACE))
+    outcome = run_session(dep, PAYLOAD)
+    return dep, outcome
+
+
+@pytest.fixture(scope="module")
+def honest_world():
+    dep = make_deployment(seed=b"arb-honest")
+    outcome = run_session(dep, PAYLOAD)
+    return dep, outcome
+
+
+class TestTamperingRule:
+    def test_mismatching_hashes_convict(self, tampered_world):
+        dep, outcome = tampered_world
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+
+    def test_matching_hashes_reject_claim(self, honest_world):
+        dep, outcome = honest_world
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.CLAIM_REJECTED
+
+    def test_forged_evidence_inadmissible(self, tampered_world):
+        """Evidence whose signature does not verify is dropped, and a
+        claimant armed only with forgeries gets UNRESOLVED."""
+        dep, outcome = tampered_world
+        genuine = dep.client.evidence_store.for_transaction(outcome.transaction_id)
+        forged = [replace(e, signature_over_data_hash=bytes(64)) for e in genuine]
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id, dep.provider.name, forged, []
+        )
+        assert ruling.verdict is Verdict.UNRESOLVED
+        assert ruling.evidence_admitted == 0
+        assert ruling.evidence_rejected == len(forged)
+
+    def test_cross_transaction_evidence_ignored(self, tampered_world, honest_world):
+        dep_t, out_t = tampered_world
+        dep_h, out_h = honest_world
+        # Evidence from another transaction (and another deployment's
+        # keys) must not be admitted.
+        foreign = dep_h.client.evidence_store.for_transaction(out_h.transaction_id)
+        ruling = dep_t.arbitrator.rule_on_tampering(
+            out_t.transaction_id, dep_t.provider.name, foreign, []
+        )
+        assert ruling.verdict is Verdict.UNRESOLVED
+
+    def test_no_evidence_unresolved(self, honest_world):
+        dep, outcome = honest_world
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id, dep.provider.name, [], []
+        )
+        assert ruling.verdict is Verdict.UNRESOLVED
+
+    def test_ack_rebuttal_rejects_claim(self, honest_world):
+        """Without the download response, the provider's copy of the
+        client's matching DOWNLOAD_ACK defeats the claim."""
+        dep, outcome = honest_world
+        txn = outcome.transaction_id
+        client_receipts = [
+            e for e in dep.client.evidence_store.for_transaction(txn)
+            if e.header.flag is Flag.UPLOAD_RECEIPT
+        ]
+        provider_acks = [
+            e for e in dep.provider.evidence_store.for_transaction(txn)
+            if e.header.flag is Flag.DOWNLOAD_ACK
+        ]
+        assert provider_acks, "provider should hold the download ack"
+        ruling = dep.arbitrator.rule_on_tampering(
+            txn, dep.provider.name, client_receipts, provider_acks
+        )
+        assert ruling.verdict is Verdict.CLAIM_REJECTED
+
+    def test_rulings_accumulate(self, honest_world):
+        dep, outcome = honest_world
+        arbitrator = Arbitrator(dep.registry)
+        arbitrator.rule_on_tampering(outcome.transaction_id, dep.provider.name, [], [])
+        arbitrator.rule_on_tampering(outcome.transaction_id, dep.provider.name, [], [])
+        assert len(arbitrator.rulings) == 2
+
+
+class TestUploadContentRule:
+    def test_provider_proves_origin(self, honest_world):
+        """The NRO makes the upload undeniable (§4.1)."""
+        dep, outcome = honest_world
+        ruling = dep.arbitrator.rule_on_upload_content(
+            outcome.transaction_id,
+            dep.client.name,
+            dep.provider.evidence_store.for_transaction(outcome.transaction_id),
+        )
+        assert ruling.verdict is Verdict.NO_FAULT
+        assert "undeniable" in ruling.rationale
+
+    def test_no_nro_unresolved(self, honest_world):
+        dep, outcome = honest_world
+        ruling = dep.arbitrator.rule_on_upload_content(
+            outcome.transaction_id, dep.client.name, []
+        )
+        assert ruling.verdict is Verdict.UNRESOLVED

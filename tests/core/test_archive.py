@@ -1,0 +1,103 @@
+"""Evidence archival: serialization, re-verification, tamper rejection."""
+
+import json
+
+import pytest
+
+from repro.core import ProviderBehavior, Verdict, make_deployment, run_session, run_upload
+from repro.core.archive import (
+    evidence_from_dict,
+    evidence_to_dict,
+    export_store,
+    import_bundle,
+    verify_bundle,
+)
+from repro.errors import EvidenceError
+from repro.storage.tamper import TamperMode
+
+
+@pytest.fixture(scope="module")
+def world():
+    dep = make_deployment(seed=b"archive-tests",
+                          behavior=ProviderBehavior(tamper_mode=TamperMode.REPLACE))
+    outcome = run_session(dep, b"archived payload " * 8)
+    return dep, outcome
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, world):
+        dep, outcome = world
+        original = dep.client.evidence_store.for_transaction(outcome.transaction_id)[0]
+        restored = evidence_from_dict(evidence_to_dict(original))
+        assert restored == original
+
+    def test_export_import(self, world):
+        dep, outcome = world
+        blob = export_store(dep.client.evidence_store)
+        owner, items = import_bundle(blob)
+        assert owner == dep.client.name
+        assert len(items) == len(dep.client.evidence_store)
+
+    def test_export_single_transaction(self, world):
+        dep, outcome = world
+        blob = export_store(dep.client.evidence_store, outcome.transaction_id)
+        _, items = import_bundle(blob)
+        assert all(i.header.transaction_id == outcome.transaction_id for i in items)
+
+    def test_bundle_is_stable_json(self, world):
+        dep, _ = world
+        blob1 = export_store(dep.client.evidence_store)
+        blob2 = export_store(dep.client.evidence_store)
+        assert blob1 == blob2
+        json.loads(blob1)  # well-formed
+
+
+class TestVerification:
+    def test_verify_bundle_accepts_genuine(self, world):
+        dep, _ = world
+        verified = verify_bundle(export_store(dep.client.evidence_store), dep.registry)
+        assert len(verified) == len(dep.client.evidence_store)
+
+    def test_tampered_hash_rejected(self, world):
+        dep, outcome = world
+        blob = export_store(dep.client.evidence_store, outcome.transaction_id)
+        payload = json.loads(blob)
+        payload["evidence"][0]["data_hash"] = "00" * 32
+        verified = verify_bundle(json.dumps(payload), dep.registry)
+        assert len(verified) < len(payload["evidence"]) or not verified
+
+    def test_fully_forged_bundle_raises(self, world):
+        dep, outcome = world
+        blob = export_store(dep.client.evidence_store, outcome.transaction_id)
+        payload = json.loads(blob)
+        for item in payload["evidence"]:
+            item["signature_over_header"] = "00" * 64
+        with pytest.raises(EvidenceError):
+            verify_bundle(json.dumps(payload), dep.registry)
+
+    def test_not_json(self, world):
+        dep, _ = world
+        with pytest.raises(EvidenceError):
+            import_bundle("this is not json")
+
+    def test_wrong_format_marker(self, world):
+        with pytest.raises(EvidenceError):
+            import_bundle(json.dumps({"format": "something-else", "evidence": []}))
+
+    def test_malformed_item(self):
+        with pytest.raises(EvidenceError):
+            evidence_from_dict({"flag": "UPLOAD"})  # missing everything else
+
+
+class TestDisputeFromArchive:
+    def test_arbitration_works_from_rehydrated_evidence(self, world):
+        """The whole point: a dispute long after the fact, from files."""
+        dep, outcome = world
+        alice_blob = export_store(dep.client.evidence_store, outcome.transaction_id)
+        bob_blob = export_store(dep.provider.evidence_store, outcome.transaction_id)
+        alice_items = verify_bundle(alice_blob, dep.registry)
+        bob_items = verify_bundle(bob_blob, dep.registry)
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id, dep.provider.name, alice_items, bob_items
+        )
+        assert ruling.verdict is Verdict.PROVIDER_FAULT

@@ -1,0 +1,80 @@
+"""Client-side confidentiality (paper §2.4 concern 1)."""
+
+import pytest
+
+from repro.core import make_deployment, run_shared_download, run_upload
+from repro.core.confidential import open_payload, recipients_of, seal_payload
+from repro.errors import DecryptionError
+
+SECRET = b"the plaintext Eve must never see " * 8
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_deployment(seed=b"conf-tests", extra_client_names=("chairman",))
+
+
+class TestSealOpen:
+    def test_each_recipient_can_open(self, world):
+        dep = world
+        blob = seal_payload(SECRET, ["alice", "chairman"], dep.registry, dep.rng)
+        assert open_payload(blob, dep.client.identity) == SECRET
+        assert open_payload(blob, dep.extra_clients["chairman"].identity) == SECRET
+
+    def test_non_recipient_cannot_open(self, world):
+        dep = world
+        blob = seal_payload(SECRET, ["alice"], dep.registry, dep.rng)
+        with pytest.raises(DecryptionError):
+            open_payload(blob, dep.provider.identity)
+
+    def test_recipients_metadata(self, world):
+        dep = world
+        blob = seal_payload(SECRET, ["chairman", "alice"], dep.registry, dep.rng)
+        assert recipients_of(blob) == ["alice", "chairman"]
+
+    def test_ciphertext_hides_plaintext(self, world):
+        dep = world
+        blob = seal_payload(SECRET, ["alice"], dep.registry, dep.rng)
+        assert SECRET not in blob
+        assert SECRET[:16] not in blob
+
+    def test_empty_plaintext(self, world):
+        dep = world
+        blob = seal_payload(b"", ["alice"], dep.registry, dep.rng)
+        assert open_payload(blob, dep.client.identity) == b""
+
+    def test_not_a_confidential_blob(self, world):
+        dep = world
+        with pytest.raises(DecryptionError):
+            open_payload(b"garbage bytes", dep.client.identity)
+
+    def test_tampered_ciphertext_detected(self, world):
+        dep = world
+        blob = bytearray(seal_payload(SECRET, ["alice"], dep.registry, dep.rng))
+        blob[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            open_payload(bytes(blob), dep.client.identity)
+
+    def test_fresh_data_keys_per_seal(self, world):
+        dep = world
+        blob1 = seal_payload(SECRET, ["alice"], dep.registry, dep.rng)
+        blob2 = seal_payload(SECRET, ["alice"], dep.registry, dep.rng)
+        assert blob1 != blob2
+
+
+class TestConfidentialTpnrSession:
+    def test_provider_stores_only_ciphertext(self):
+        dep = make_deployment(seed=b"conf-session", extra_client_names=("chairman",))
+        blob = seal_payload(SECRET, ["alice", "chairman"], dep.registry, dep.rng)
+        outcome = run_upload(dep, blob)
+        stored = dep.provider.store.get("tpnr-data", outcome.transaction_id)
+        assert SECRET not in stored.data
+
+    def test_shared_download_decrypts(self):
+        dep = make_deployment(seed=b"conf-share", extra_client_names=("chairman",))
+        blob = seal_payload(SECRET, ["alice", "chairman"], dep.registry, dep.rng)
+        outcome = run_upload(dep, blob)
+        result = run_shared_download(dep, outcome.transaction_id, "chairman")
+        assert result.verified  # NR evidence covers the ciphertext
+        plaintext = open_payload(result.data, dep.extra_clients["chairman"].identity)
+        assert plaintext == SECRET

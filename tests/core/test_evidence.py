@@ -1,0 +1,138 @@
+"""Evidence: Encrypt{Sign(HashOfData), Sign(Plaintext)}."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.evidence import build_evidence, open_evidence, verify_opened_evidence
+from repro.core.messages import Flag, Header
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import digest
+from repro.errors import EvidenceError
+
+
+@pytest.fixture(scope="module")
+def env(pki):
+    ca, registry, identities = pki
+    rng = HmacDrbg(b"evidence-tests")
+    return registry, identities, rng
+
+
+def make_header(sender="alice", recipient="bob", data=b"payload", **overrides):
+    fields = dict(
+        flag=Flag.UPLOAD,
+        sender_id=sender,
+        recipient_id=recipient,
+        ttp_id="ttp",
+        transaction_id="TXN-EV",
+        sequence_number=3,
+        nonce=b"n" * 16,
+        time_limit=60.0,
+        data_hash=digest("sha256", data),
+    )
+    fields.update(overrides)
+    return Header(**fields)
+
+
+class TestBuildOpen:
+    def test_roundtrip(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        assert opened.signer == "alice"
+        assert opened.header == header
+
+    def test_encrypted_framing(self, env):
+        registry, ids, rng = env
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), make_header(), rng)
+        assert blob.startswith(b"ENC--")
+
+    def test_plain_mode(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng, encrypt=False)
+        assert blob.startswith(b"PLAIN")
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        assert opened.signer == "alice"
+
+    def test_wrong_recipient_cannot_open(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["ttp"], registry.lookup("alice"), "alice", header, blob)
+
+    def test_header_substitution_detected(self, env):
+        """Evidence for one header must not verify against another."""
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        other = make_header(transaction_id="TXN-OTHER")
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["bob"], registry.lookup("alice"), "alice", other, blob)
+
+    def test_data_hash_substitution_detected(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        forged = replace(header, data_hash=digest("sha256", b"other data"))
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["bob"], registry.lookup("alice"), "alice", forged, blob)
+
+    def test_wrong_claimed_signer(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["bob"], registry.lookup("ttp"), "ttp", header, blob)
+
+    def test_garbage_blob(self, env):
+        registry, ids, _ = env
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["bob"], registry.lookup("alice"), "alice", make_header(), b"junk")
+
+    def test_truncated_plain_blob(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng, encrypt=False)
+        with pytest.raises(EvidenceError):
+            open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob[:10])
+
+
+class TestArbitratorVerification:
+    def test_opened_evidence_reverifies(self, env, pki):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        assert verify_opened_evidence(opened, registry)
+
+    def test_forged_signer_name_fails(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        forged = replace(opened, signer="bob")  # claim bob signed it
+        assert not verify_opened_evidence(forged, registry)
+
+    def test_unknown_signer_fails(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        assert not verify_opened_evidence(replace(opened, signer="nobody"), registry)
+
+    def test_tampered_signature_fails(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        bad = replace(opened, signature_over_data_hash=bytes(len(opened.signature_over_data_hash)))
+        assert not verify_opened_evidence(bad, registry)
+
+    def test_evidence_wire_size(self, env):
+        registry, ids, rng = env
+        header = make_header()
+        blob = build_evidence(ids["alice"], registry.lookup("bob"), header, rng)
+        opened = open_evidence(ids["bob"], registry.lookup("alice"), "alice", header, blob)
+        assert opened.wire_size() > 128

@@ -1,0 +1,150 @@
+"""Property-based protocol invariants.
+
+Hypothesis drives randomized scenarios — payload sizes, provider
+(mis)behaviours, channel loss — and checks the invariants the protocol
+design promises regardless of inputs:
+
+* **finite termination** — every transaction reaches a terminal state
+  and the event queue drains;
+* **fairness** — if the client ends COMPLETED/RESOLVED it holds a
+  provider-signed receipt for exactly its data hash, and the provider
+  holds the client's NRO;
+* **no bulk data through the TTP** — §4.3;
+* **no false convictions** — the arbitrator never rules against an
+  honest provider;
+* **evidence transferability** — all retained evidence re-verifies
+  from public keys alone.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ProviderBehavior,
+    Verdict,
+    dispute_tampering,
+    make_deployment,
+    run_download,
+    run_upload,
+)
+from repro.core.evidence import verify_opened_evidence
+from repro.core.messages import Flag
+from repro.core.transaction import TxStatus
+from repro.net.channel import ChannelSpec
+from repro.storage.tamper import TamperMode
+
+TERMINAL = (TxStatus.COMPLETED, TxStatus.RESOLVED, TxStatus.ABORTED, TxStatus.FAILED)
+
+# Deployment setup costs ~0.5s (RSA keygen), so keep example counts low
+# but the scenario space wide.
+SLOW_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+behaviors = st.sampled_from([
+    ProviderBehavior(),
+    ProviderBehavior(tamper_mode=TamperMode.BIT_FLIP),
+    ProviderBehavior(tamper_mode=TamperMode.FIXUP_MD5),
+    ProviderBehavior(silent_on_upload=True),
+    ProviderBehavior(silent_on_upload=True, silent_to_ttp=True),
+])
+
+
+class TestTermination:
+    @given(
+        payload=st.binary(min_size=1, max_size=2048),
+        behavior=behaviors,
+        drop=st.sampled_from([0.0, 0.1, 0.3]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW_SETTINGS
+    def test_every_transaction_terminates(self, payload, behavior, drop, seed):
+        dep = make_deployment(
+            seed=f"inv-term-{seed}".encode(),
+            channel=ChannelSpec(base_latency=0.02, drop_prob=drop),
+            behavior=behavior,
+        )
+        run_upload(dep, payload)
+        for record in dep.client.transactions.values():
+            assert record.status in TERMINAL, record
+        assert dep.sim.pending() == 0
+
+
+class TestFairness:
+    @given(
+        payload=st.binary(min_size=1, max_size=2048),
+        behavior=behaviors,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW_SETTINGS
+    def test_success_implies_mutual_evidence(self, payload, behavior, seed):
+        dep = make_deployment(seed=f"inv-fair-{seed}".encode(), behavior=behavior)
+        outcome = run_upload(dep, payload)
+        if outcome.upload_status in (TxStatus.COMPLETED, TxStatus.RESOLVED):
+            txn = outcome.transaction_id
+            receipts = [
+                e for e in dep.client.evidence_store.for_transaction(txn)
+                if e.signer == dep.provider.name
+                and e.header.flag in (Flag.UPLOAD_RECEIPT, Flag.RESOLVE_REPLY)
+            ]
+            assert receipts, "client succeeded without a provider receipt"
+            handle = dep.client.uploads[txn]
+            assert all(r.header.data_hash == handle.data_hash for r in receipts)
+            origins = [
+                e for e in dep.provider.evidence_store.for_transaction(txn)
+                if e.signer == dep.client.name and e.header.flag is Flag.UPLOAD
+            ]
+            assert origins, "provider answered without holding the NRO"
+
+
+class TestTtpDiscipline:
+    @given(
+        behavior=st.sampled_from([
+            ProviderBehavior(silent_on_upload=True),
+            ProviderBehavior(silent_on_upload=True, silent_to_ttp=True),
+        ]),
+        payload=st.binary(min_size=1, max_size=4096),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW_SETTINGS
+    def test_no_bulk_data_transits_the_ttp(self, behavior, payload, seed):
+        dep = make_deployment(seed=f"inv-ttp-{seed}".encode(), behavior=behavior)
+        run_upload(dep, payload)
+        for event in dep.network.trace.sends():
+            if "ttp" in (event.src, event.dst):
+                # Resolve traffic carries headers + evidence, never the
+                # payload: it must stay far below the payload size cap.
+                assert event.size_bytes <= dep.ttp.policy.ttp_max_payload
+
+
+class TestNoFalseConvictions:
+    @given(
+        payload=st.binary(min_size=1, max_size=2048),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW_SETTINGS
+    def test_honest_provider_never_convicted(self, payload, seed):
+        dep = make_deployment(seed=f"inv-honest-{seed}".encode())
+        outcome = run_upload(dep, payload)
+        run_download(dep, outcome.transaction_id)
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is not Verdict.PROVIDER_FAULT
+
+
+class TestEvidenceTransferability:
+    @given(
+        behavior=behaviors,
+        payload=st.binary(min_size=1, max_size=1024),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @SLOW_SETTINGS
+    def test_all_retained_evidence_reverifies_publicly(self, behavior, payload, seed):
+        dep = make_deployment(seed=f"inv-verify-{seed}".encode(), behavior=behavior)
+        outcome = run_upload(dep, payload)
+        for store in (dep.client.evidence_store, dep.provider.evidence_store,
+                      dep.ttp.evidence_store):
+            for txn in store.transactions():
+                for item in store.for_transaction(txn):
+                    assert verify_opened_evidence(item, dep.registry), item.header.flag

@@ -1,0 +1,255 @@
+"""End-to-end TPNR scenarios through the deployment runners."""
+
+import pytest
+
+from repro.core import (
+    ProviderBehavior,
+    TxStatus,
+    Verdict,
+    dispute_missing_receipt,
+    dispute_tampering,
+    make_deployment,
+    run_abort,
+    run_download,
+    run_session,
+    run_upload,
+)
+from repro.core.messages import Flag, ResolveAction
+from repro.net.channel import ChannelSpec
+from repro.storage.tamper import TamperMode
+
+PAYLOAD = b"company financial data " * 32
+
+
+class TestNormalMode:
+    def test_upload_completes_in_two_steps(self):
+        dep = make_deployment(seed=b"t-normal-1")
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        assert outcome.steps == 2  # the §4.4 headline claim
+        assert not outcome.ttp_involved
+
+    def test_both_sides_hold_evidence(self):
+        dep = make_deployment(seed=b"t-normal-2")
+        outcome = run_upload(dep, PAYLOAD)
+        txn = outcome.transaction_id
+        alice_flags = [e.header.flag for e in dep.client.evidence_store.for_transaction(txn)]
+        bob_flags = [e.header.flag for e in dep.provider.evidence_store.for_transaction(txn)]
+        assert Flag.UPLOAD_RECEIPT in alice_flags  # Alice holds the NRR
+        assert Flag.UPLOAD in bob_flags  # Bob holds the NRO
+
+    def test_provider_stored_the_data(self):
+        dep = make_deployment(seed=b"t-normal-3")
+        outcome = run_upload(dep, PAYLOAD)
+        stored = dep.provider.store.get("tpnr-data", outcome.transaction_id)
+        assert stored.data == PAYLOAD
+
+    def test_download_verifies_integrity(self):
+        dep = make_deployment(seed=b"t-normal-4")
+        outcome = run_session(dep, PAYLOAD)
+        assert outcome.download is not None
+        assert outcome.download.verified
+        assert outcome.download.data == PAYLOAD
+        assert not outcome.download.tampering_detected
+
+    def test_full_session_step_count(self):
+        """upload(2) + download request/response/ack(3) = 5 messages."""
+        dep = make_deployment(seed=b"t-normal-5")
+        outcome = run_session(dep, PAYLOAD)
+        assert outcome.steps == 5
+
+    def test_deterministic_given_seed(self):
+        out1 = run_session(make_deployment(seed=b"t-det"), PAYLOAD)
+        out2 = run_session(make_deployment(seed=b"t-det"), PAYLOAD)
+        assert out1.steps == out2.steps
+        assert out1.bytes_on_wire == out2.bytes_on_wire
+        assert out1.elapsed == out2.elapsed
+
+    def test_latency_accumulates_on_wan(self):
+        dep = make_deployment(seed=b"t-wan", channel=ChannelSpec(base_latency=0.1))
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.elapsed >= 0.2  # two messages, 0.1s each
+
+
+class TestTamperingDetection:
+    @pytest.mark.parametrize("mode", [TamperMode.BIT_FLIP, TamperMode.REPLACE,
+                                      TamperMode.FIXUP_MD5, TamperMode.TRUNCATE])
+    def test_all_tamper_modes_detected(self, mode):
+        dep = make_deployment(seed=b"t-tamper-" + mode.value.encode(),
+                              behavior=ProviderBehavior(tamper_mode=mode))
+        outcome = run_session(dep, PAYLOAD)
+        assert outcome.download.tampering_detected
+
+    def test_dispute_attributes_fault(self):
+        dep = make_deployment(seed=b"t-dispute",
+                              behavior=ProviderBehavior(tamper_mode=TamperMode.REPLACE))
+        outcome = run_session(dep, PAYLOAD)
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+        assert ruling.evidence_admitted >= 2
+
+    def test_blackmail_claim_rejected(self):
+        """Honest provider, user claims tampering anyway (§2.4)."""
+        dep = make_deployment(seed=b"t-blackmail")
+        outcome = run_session(dep, PAYLOAD)
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.CLAIM_REJECTED
+
+
+class TestAbortMode:
+    def test_abort_when_receipt_withheld(self):
+        dep = make_deployment(seed=b"t-abort-1",
+                              behavior=ProviderBehavior(silent_on_upload=True))
+        outcome = run_abort(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.ABORTED
+        assert not outcome.ttp_involved  # §4.2: no TTP needed
+
+    def test_abort_after_completion_is_noop(self):
+        dep = make_deployment(seed=b"t-abort-2")
+        outcome = run_abort(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+
+    def test_abort_evidence_exchanged(self):
+        dep = make_deployment(seed=b"t-abort-3",
+                              behavior=ProviderBehavior(silent_on_upload=True))
+        outcome = run_abort(dep, PAYLOAD)
+        txn = outcome.transaction_id
+        alice_flags = [e.header.flag for e in dep.client.evidence_store.for_transaction(txn)]
+        assert Flag.ABORT_ACCEPT in alice_flags
+        bob_flags = [e.header.flag for e in dep.provider.evidence_store.for_transaction(txn)]
+        assert Flag.ABORT in bob_flags
+
+    def test_rejected_abort_leaves_pending(self):
+        dep = make_deployment(
+            seed=b"t-abort-4",
+            behavior=ProviderBehavior(silent_on_upload=True, reject_abort=True),
+        )
+        outcome = run_abort(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.PENDING
+        record = dep.client.transactions[outcome.transaction_id]
+        assert "rejected" in record.detail
+
+
+class TestResolveMode:
+    def test_withheld_receipt_resolved_via_ttp(self):
+        dep = make_deployment(seed=b"t-resolve-1",
+                              behavior=ProviderBehavior(silent_on_upload=True))
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.RESOLVED
+        assert outcome.ttp_involved
+        # The relayed NRR reached Alice.
+        flags = [e.header.flag for e in dep.client.evidence_store.for_transaction(outcome.transaction_id)]
+        assert Flag.RESOLVE_REPLY in flags
+
+    def test_stonewalling_provider_yields_ttp_statement(self):
+        dep = make_deployment(
+            seed=b"t-resolve-2",
+            behavior=ProviderBehavior(silent_on_upload=True, silent_to_ttp=True),
+        )
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.FAILED
+        flags = [e.header.flag for e in dep.client.evidence_store.for_transaction(outcome.transaction_id)]
+        assert Flag.RESOLVE_FAILED in flags
+        assert dep.ttp.failures_declared == 1
+
+    def test_missing_receipt_dispute(self):
+        dep = make_deployment(
+            seed=b"t-resolve-3",
+            behavior=ProviderBehavior(silent_on_upload=True, silent_to_ttp=True),
+        )
+        outcome = run_upload(dep, PAYLOAD)
+        ruling = dispute_missing_receipt(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+
+    def test_missing_receipt_claim_fails_against_honest_provider(self):
+        dep = make_deployment(seed=b"t-resolve-4")
+        outcome = run_upload(dep, PAYLOAD)
+        ruling = dispute_missing_receipt(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.CLAIM_REJECTED
+
+    def test_no_auto_resolve_times_out(self):
+        dep = make_deployment(seed=b"t-resolve-5",
+                              behavior=ProviderBehavior(silent_on_upload=True))
+        outcome = run_upload(dep, PAYLOAD, auto_resolve=False)
+        assert outcome.upload_status is TxStatus.FAILED
+        assert "timeout" in outcome.upload_detail
+
+    def test_provider_requests_restart_for_unknown_txn(self):
+        """If the upload never arrived, Bob answers the resolve query
+        with RESTART (he cannot re-issue an NRR for data he lacks)."""
+        from repro.core.policy import DEFAULT_POLICY
+        from repro.net.adversary import Adversary
+
+        class UploadEater(Adversary):
+            def on_intercept(self, envelope):
+                self.seen.append(envelope)
+                if envelope.kind == "tpnr.upload":
+                    self.drop(envelope)
+                else:
+                    self.forward(envelope)
+
+        dep = make_deployment(seed=b"t-resolve-6")
+        dep.network.install_adversary(UploadEater())
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.FAILED
+        assert dep.client.resolve_outcomes[outcome.transaction_id] == ResolveAction.RESTART.value
+
+    def test_ttp_rejects_bulk_data(self):
+        """The §4.3 rule: no bulk data through the TTP."""
+        dep = make_deployment(seed=b"t-resolve-7")
+        big = b"x" * (dep.ttp.policy.ttp_max_payload + 1)
+        header = dep.client.make_header(Flag.RESOLVE_REQUEST, "ttp", "TXN-BULK", b"h" * 32)
+        message = dep.client.make_message(header, data=big,
+                                          annotations=(("counterparty", "bob"),))
+        dep.client.send("ttp", "tpnr.resolve.request", message)
+        dep.run()
+        assert dep.ttp.bulk_rejections == 1
+        assert dep.ttp.resolves_handled == 0
+
+
+class TestLossyNetwork:
+    def test_lost_receipt_recovered_via_resolve(self):
+        """Drop the receipt in flight; the Resolve model recovers."""
+        from repro.net.adversary import Adversary
+
+        class ReceiptEater(Adversary):
+            def __init__(self):
+                super().__init__()
+                self.eaten = 0
+
+            def on_intercept(self, envelope):
+                self.seen.append(envelope)
+                if envelope.kind == "tpnr.upload.receipt" and self.eaten == 0:
+                    self.eaten += 1
+                    self.drop(envelope)
+                else:
+                    self.forward(envelope)
+
+        dep = make_deployment(seed=b"t-lossy-1")
+        dep.network.install_adversary(ReceiptEater())
+        outcome = run_upload(dep, PAYLOAD)
+        # Bob answered the TTP with his NRR: fairness restored.
+        assert outcome.upload_status is TxStatus.RESOLVED
+        assert outcome.ttp_involved
+
+    def test_download_of_unknown_transaction_rejected(self):
+        dep = make_deployment(seed=b"t-lossy-2")
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            dep.client.download("TXN-NEVER-EXISTED")
+
+
+class TestSummaries:
+    def test_outcome_counts_evidence(self):
+        dep = make_deployment(seed=b"t-summary")
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.client_evidence >= 1
+        assert outcome.provider_evidence >= 1
+        assert outcome.bytes_on_wire > len(PAYLOAD)
+
+    def test_trace_isolated_between_runs(self):
+        dep = make_deployment(seed=b"t-summary-2")
+        first = run_upload(dep, PAYLOAD)
+        second = run_upload(dep, PAYLOAD)
+        assert first.steps == second.steps == 2

@@ -1,0 +1,56 @@
+"""Provider-side audit trail integration."""
+
+import pytest
+
+from repro.core import make_deployment, run_download, run_upload
+from repro.crypto.hashes import digest
+from repro.storage import AuditLog, TamperMode, apply_tamper, verify_chain
+
+PAYLOAD = b"audited payload " * 8
+
+
+@pytest.fixture
+def audited():
+    dep = make_deployment(seed=b"provider-audit")
+    dep.provider.audit_log = AuditLog(dep.provider.identity, checkpoint_interval=2)
+    return dep
+
+
+class TestAuditIntegration:
+    def test_operations_logged(self, audited):
+        dep = audited
+        outcome = run_upload(dep, PAYLOAD)
+        run_download(dep, outcome.transaction_id)
+        operations = [e.operation for e in dep.provider.audit_log.entries]
+        assert operations == ["put", "get"]
+
+    def test_no_log_when_disabled(self):
+        dep = make_deployment(seed=b"provider-unaudited")
+        outcome = run_upload(dep, PAYLOAD)
+        run_download(dep, outcome.transaction_id)
+        assert dep.provider.audit_log is None
+
+    def test_chain_verifies_against_registry(self, audited):
+        dep = audited
+        outcome = run_upload(dep, PAYLOAD)
+        run_download(dep, outcome.transaction_id)
+        log = dep.provider.audit_log
+        covered = verify_chain(log.entries, log.checkpoints, dep.registry, dep.provider.name)
+        assert covered >= 1
+
+    def test_tamper_window_narrowed(self, audited):
+        """The forensic payoff: the tamper is localized between the
+        last clean serve and the first tampered serve."""
+        dep = audited
+        outcome = run_upload(dep, PAYLOAD)
+        run_download(dep, outcome.transaction_id)  # clean serve: entry 1
+        apply_tamper(dep.provider.store, "tpnr-data", outcome.transaction_id,
+                     TamperMode.FIXUP_MD5, dep.rng)
+        dep.client.downloads.pop(outcome.transaction_id)
+        run_download(dep, outcome.transaction_id)  # tampered serve: entry 2
+        expected = digest("sha256", PAYLOAD)
+        last_ok, first_bad = dep.provider.audit_log.last_change_between_checkpoints(
+            "tpnr-data", outcome.transaction_id, expected
+        )
+        assert last_ok == 1
+        assert first_bad == 2

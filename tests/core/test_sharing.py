@@ -1,0 +1,166 @@
+"""Cross-user sharing: Alice uploads, Bob the chairman downloads.
+
+This is the paper's §2.4 motivating scenario verbatim: the uploader and
+the downloader are *different users*, and the downloader still needs
+upload-to-download integrity plus dispute-grade evidence.
+"""
+
+import pytest
+
+from repro.core import (
+    ProviderBehavior,
+    Verdict,
+    make_deployment,
+    run_shared_download,
+    run_upload,
+)
+from repro.core.messages import Flag
+from repro.errors import ProtocolError
+from repro.storage.tamper import TamperMode
+
+LEDGER = b"cfo ledger " * 32
+
+
+def shared_world(seed: bytes, **kwargs):
+    dep = make_deployment(seed=seed, extra_client_names=("chairman",), **kwargs)
+    outcome = run_upload(dep, LEDGER)
+    return dep, outcome
+
+
+class TestGrants:
+    def test_granted_download_verifies(self):
+        dep, outcome = shared_world(b"share-ok")
+        result = run_shared_download(dep, outcome.transaction_id, "chairman")
+        assert result.verified
+        assert result.data == LEDGER
+
+    def test_grant_acknowledged_with_receipt(self):
+        dep, outcome = shared_world(b"share-ack")
+        run_shared_download(dep, outcome.transaction_id, "chairman")
+        flags = [e.header.flag for e in
+                 dep.client.evidence_store.for_transaction(outcome.transaction_id)]
+        assert Flag.GRANT_ACK in flags
+        # ...and the provider holds the owner-signed grant.
+        provider_flags = [e.header.flag for e in
+                          dep.provider.evidence_store.for_transaction(outcome.transaction_id)]
+        assert Flag.GRANT in provider_flags
+
+    def test_ungranted_user_rejected(self):
+        dep, outcome = shared_world(b"share-deny")
+        chairman = dep.extra_clients["chairman"]
+        handle = dep.client.uploads[outcome.transaction_id]
+        chairman.import_transaction(outcome.transaction_id, "bob", handle.data_hash)
+        chairman.download(outcome.transaction_id)
+        dep.run()
+        assert any("not authorized" in reason
+                   for _, reason in dep.provider.rejected_messages)
+        assert chairman.downloads[outcome.transaction_id].data is None
+
+    def test_grant_from_non_owner_rejected(self):
+        dep, outcome = shared_world(b"share-forge")
+        chairman = dep.extra_clients["chairman"]
+        handle = dep.client.uploads[outcome.transaction_id]
+        # The chairman (not the owner) tries to grant himself access.
+        chairman.import_transaction(outcome.transaction_id, "bob", handle.data_hash)
+        chairman.grant(outcome.transaction_id, "chairman")
+        dep.run()
+        assert any("not from the transaction owner" in reason
+                   for _, reason in dep.provider.rejected_messages)
+
+    def test_grant_missing_grantee_rejected(self):
+        dep, outcome = shared_world(b"share-nogr017")
+        header = dep.client.make_header(
+            Flag.GRANT, "bob", outcome.transaction_id,
+            dep.client.uploads[outcome.transaction_id].data_hash,
+        )
+        dep.client.send("bob", "tpnr.grant", dep.client.make_message(header))
+        dep.run()
+        assert any("missing grantee" in reason
+                   for _, reason in dep.provider.rejected_messages)
+
+    def test_import_duplicate_rejected(self):
+        dep, outcome = shared_world(b"share-dup")
+        with pytest.raises(ProtocolError):
+            dep.client.import_transaction(outcome.transaction_id, "bob", b"h" * 32)
+
+
+class TestCrossUserIntegrity:
+    def test_tampering_detected_by_downloader(self):
+        dep, outcome = shared_world(
+            b"share-tamper", behavior=ProviderBehavior(tamper_mode=TamperMode.FIXUP_MD5)
+        )
+        result = run_shared_download(dep, outcome.transaction_id, "chairman")
+        assert result.tampering_detected
+        assert not result.verified
+
+    def test_downloader_wins_dispute_with_shared_nrr(self):
+        """The §4.1 mechanism: the uploader's NRR is transferable; the
+        downloader combines it with his own download evidence."""
+        dep, outcome = shared_world(
+            b"share-dispute", behavior=ProviderBehavior(tamper_mode=TamperMode.REPLACE)
+        )
+        run_shared_download(dep, outcome.transaction_id, "chairman")
+        chairman = dep.extra_clients["chairman"]
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id,
+            dep.provider.name,
+            chairman.evidence_store.for_transaction(outcome.transaction_id),
+            dep.provider.evidence_store.for_transaction(outcome.transaction_id),
+        )
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+
+    def test_honest_cross_user_claim_rejected(self):
+        dep, outcome = shared_world(b"share-honest")
+        run_shared_download(dep, outcome.transaction_id, "chairman")
+        chairman = dep.extra_clients["chairman"]
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id,
+            dep.provider.name,
+            chairman.evidence_store.for_transaction(outcome.transaction_id),
+            dep.provider.evidence_store.for_transaction(outcome.transaction_id),
+        )
+        assert ruling.verdict is Verdict.CLAIM_REJECTED
+
+    def test_multiple_grantees(self):
+        dep = make_deployment(seed=b"share-multi",
+                              extra_client_names=("chairman", "auditor"))
+        outcome = run_upload(dep, LEDGER)
+        for name in ("chairman", "auditor"):
+            result = run_shared_download(dep, outcome.transaction_id, name)
+            assert result.verified
+
+
+class TestResolveAuthorization:
+    def test_stranger_cannot_extract_receipt_via_resolve(self):
+        """A third party filing a Resolve request for someone else's
+        transaction gets a REFUSE, not the NRR."""
+        from repro.core import TxStatus
+
+        dep = make_deployment(seed=b"share-resolve-authz",
+                              extra_client_names=("mallory",))
+        outcome = run_upload(dep, LEDGER)
+        mallory = dep.extra_clients["mallory"]
+        handle = dep.client.uploads[outcome.transaction_id]
+        mallory.import_transaction(outcome.transaction_id, "bob", handle.data_hash)
+        mallory.transactions[outcome.transaction_id].status = TxStatus.PENDING
+        mallory.start_resolve(outcome.transaction_id, report="fishing")
+        dep.run()
+        assert mallory.resolve_outcomes[outcome.transaction_id] == "refuse"
+
+    def test_grantee_may_resolve(self):
+        """An authorized downloader CAN use the Resolve path."""
+        from repro.core import ProviderBehavior, TxStatus
+
+        dep = make_deployment(seed=b"share-resolve-grantee",
+                              extra_client_names=("chairman",),
+                              behavior=ProviderBehavior(silent_on_download=True))
+        outcome = run_upload(dep, LEDGER)
+        chairman = dep.extra_clients["chairman"]
+        dep.client.grant(outcome.transaction_id, "chairman")
+        dep.run()
+        handle = dep.client.uploads[outcome.transaction_id]
+        chairman.import_transaction(outcome.transaction_id, "bob", handle.data_hash)
+        chairman.transactions[outcome.transaction_id].status = TxStatus.PENDING
+        chairman.start_resolve(outcome.transaction_id, report="no download response")
+        dep.run()
+        assert chairman.resolve_outcomes[outcome.transaction_id] == "continue"

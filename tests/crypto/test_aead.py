@@ -1,0 +1,82 @@
+"""Encrypt-then-MAC AEAD behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import aead
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import CryptoError, DecryptionError
+
+MASTER = b"m" * 32
+NONCE = b"n" * 12
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        box = aead.seal(MASTER, NONCE, b"plaintext", b"aad")
+        assert aead.open_(MASTER, box, b"aad") == b"plaintext"
+
+    def test_empty_plaintext(self):
+        box = aead.seal(MASTER, NONCE, b"")
+        assert aead.open_(MASTER, box) == b""
+
+    def test_overhead_constant(self):
+        for n in (0, 1, 100, 10_000):
+            box = aead.seal(MASTER, NONCE, b"x" * n)
+            assert len(box) == n + aead.OVERHEAD
+
+    @given(st.binary(max_size=4096), st.binary(max_size=64))
+    @settings(max_examples=40)
+    def test_random(self, plaintext, aad):
+        box = aead.seal(MASTER, NONCE, plaintext, aad)
+        assert aead.open_(MASTER, box, aad) == plaintext
+
+
+class TestTamperDetection:
+    def _box(self) -> bytes:
+        return aead.seal(MASTER, NONCE, b"the protected payload", b"context")
+
+    @pytest.mark.parametrize("index", [0, 5, 15, 20, 40, -1, -20, -33])
+    def test_any_byte_flip_detected(self, index):
+        box = bytearray(self._box())
+        box[index] ^= 0x01
+        with pytest.raises(DecryptionError):
+            aead.open_(MASTER, bytes(box), b"context")
+
+    def test_wrong_aad(self):
+        with pytest.raises(DecryptionError):
+            aead.open_(MASTER, self._box(), b"other-context")
+
+    def test_wrong_key(self):
+        with pytest.raises(DecryptionError):
+            aead.open_(b"w" * 32, self._box(), b"context")
+
+    def test_truncated(self):
+        with pytest.raises(DecryptionError):
+            aead.open_(MASTER, self._box()[: aead.OVERHEAD - 1], b"context")
+
+    def test_aad_length_confusion(self):
+        """Moving bytes between aad and nothing must not collide."""
+        box1 = aead.seal(MASTER, NONCE, b"p", b"ab")
+        with pytest.raises(DecryptionError):
+            aead.open_(MASTER, box1, b"a")
+
+
+class TestKeyDerivation:
+    def test_enc_and_mac_keys_differ(self):
+        enc, mac = aead.derive_keys(MASTER)
+        assert enc != mac[: len(enc)]
+
+    def test_derivation_deterministic(self):
+        assert aead.derive_keys(MASTER) == aead.derive_keys(MASTER)
+
+    def test_nonce_must_be_12_bytes(self):
+        with pytest.raises(CryptoError):
+            aead.seal(MASTER, b"short", b"p")
+
+    def test_distinct_nonces_distinct_boxes(self):
+        rng = HmacDrbg(b"nonce-test")
+        box1 = aead.seal(MASTER, rng.generate(12), b"same plaintext")
+        box2 = aead.seal(MASTER, rng.generate(12), b"same plaintext")
+        assert box1 != box2

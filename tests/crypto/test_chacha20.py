@@ -1,0 +1,72 @@
+"""ChaCha20 against the RFC 8439 test vectors."""
+
+import pytest
+
+from repro.crypto.chacha20 import chacha20_block, chacha20_keystream, chacha20_xor
+from repro.errors import CryptoError
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+RFC_MSG_NONCE = bytes.fromhex("000000000000004a00000000")
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+SUNSCREEN_CT = bytes.fromhex(
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+    "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+    "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+    "5af90bbf74a35be6b40b8eedf2785e42874d"
+)
+
+
+class TestRfc8439:
+    def test_block_function(self):
+        """RFC 8439 §2.3.2 block test vector."""
+        block = chacha20_block(RFC_KEY, 1, RFC_NONCE)
+        assert block[:16].hex() == "10f1e7e4d13b5915500fdd1fa32071c4"
+
+    def test_sunscreen_encryption(self):
+        """RFC 8439 §2.4.2 full encryption vector."""
+        assert chacha20_xor(RFC_KEY, RFC_MSG_NONCE, SUNSCREEN, initial_counter=1) == SUNSCREEN_CT
+
+    def test_sunscreen_decryption(self):
+        assert chacha20_xor(RFC_KEY, RFC_MSG_NONCE, SUNSCREEN_CT, initial_counter=1) == SUNSCREEN
+
+
+class TestProperties:
+    def test_involution(self):
+        data = b"xor is its own inverse" * 10
+        key, nonce = b"k" * 32, b"n" * 12
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+    def test_keystream_length(self):
+        for n in (0, 1, 63, 64, 65, 200):
+            assert len(chacha20_keystream(b"k" * 32, b"n" * 12, n)) == n
+
+    def test_keystream_counter_offset(self):
+        """Keystream from counter 2 equals tail of stream from counter 1."""
+        full = chacha20_keystream(b"k" * 32, b"n" * 12, 128, initial_counter=1)
+        tail = chacha20_keystream(b"k" * 32, b"n" * 12, 64, initial_counter=2)
+        assert full[64:] == tail
+
+    def test_different_nonces_differ(self):
+        a = chacha20_keystream(b"k" * 32, b"a" * 12, 64)
+        b = chacha20_keystream(b"k" * 32, b"b" * 12, 64)
+        assert a != b
+
+
+class TestValidation:
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"short", 0, b"n" * 12)
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"k" * 32, 0, b"short")
+
+    def test_counter_out_of_range(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"k" * 32, 1 << 32, b"n" * 12)
+        with pytest.raises(CryptoError):
+            chacha20_block(b"k" * 32, -1, b"n" * 12)

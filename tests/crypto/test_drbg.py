@@ -1,0 +1,126 @@
+"""Determinism and distribution sanity for the HMAC-DRBG."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import CryptoError
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = HmacDrbg(b"seed"), HmacDrbg(b"seed")
+        assert a.generate(100) == b.generate(100)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(b"seed-1").generate(32) != HmacDrbg(b"seed-2").generate(32)
+
+    def test_personalization_differs(self):
+        assert (
+            HmacDrbg(b"s", personalization=b"a").generate(32)
+            != HmacDrbg(b"s", personalization=b"b").generate(32)
+        )
+
+    def test_seed_types(self):
+        """str / int / bytes seeds all work and are distinct."""
+        streams = {
+            HmacDrbg(b"42").generate(16),
+            HmacDrbg("42").generate(16),
+            HmacDrbg(42).generate(16),
+        }
+        # bytes b"42" and str "42" encode identically; int 42 differs.
+        assert len(streams) == 2
+
+    def test_chunking_invariance_of_length(self):
+        g = HmacDrbg(b"chunks")
+        assert len(g.generate(1)) == 1
+        assert len(g.generate(31)) == 31
+        assert len(g.generate(33)) == 33
+        assert g.generate(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"x").generate(-1)
+
+
+class TestFork:
+    def test_forks_are_independent(self):
+        parent = HmacDrbg(b"parent")
+        a = parent.fork("a")
+        b = parent.fork("b")
+        assert a.generate(32) != b.generate(32)
+
+    def test_fork_same_label_after_same_history(self):
+        p1, p2 = HmacDrbg(b"p"), HmacDrbg(b"p")
+        assert p1.fork("x").generate(16) == p2.fork("x").generate(16)
+
+    def test_fork_advances_parent(self):
+        p1, p2 = HmacDrbg(b"p"), HmacDrbg(b"p")
+        p1.fork("x")
+        assert p1.generate(16) != p2.generate(16)
+
+
+class TestDraws:
+    @given(st.integers(min_value=1, max_value=256))
+    @settings(max_examples=30)
+    def test_randbits_range(self, bits):
+        value = HmacDrbg(b"bits").randbits(bits)
+        assert 0 <= value < (1 << bits)
+
+    def test_randbits_zero_rejected(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"x").randbits(0)
+
+    @given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_randint_inclusive_bounds(self, low, span):
+        high = low + span
+        value = HmacDrbg(b"int").randint(low, high)
+        assert low <= value <= high
+
+    def test_randint_degenerate(self):
+        assert HmacDrbg(b"x").randint(7, 7) == 7
+
+    def test_randint_empty_range(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"x").randint(5, 4)
+
+    def test_randint_covers_range(self):
+        g = HmacDrbg(b"coverage")
+        seen = {g.randint(0, 3) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_random_unit_interval(self):
+        g = HmacDrbg(b"float")
+        values = [g.random() for _ in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.3 < sum(values) / len(values) < 0.7  # roughly centred
+
+    def test_choice(self):
+        g = HmacDrbg(b"choice")
+        items = ["a", "b", "c"]
+        assert all(g.choice(items) in items for _ in range(20))
+
+    def test_choice_empty(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"x").choice([])
+
+    def test_shuffle_is_permutation(self):
+        g = HmacDrbg(b"shuffle")
+        items = list(range(50))
+        shuffled = list(items)
+        g.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to match
+
+    def test_expovariate_positive(self):
+        g = HmacDrbg(b"expo")
+        values = [g.expovariate(2.0) for _ in range(100)]
+        assert all(v >= 0 for v in values)
+        # mean should be near 1/rate = 0.5
+        assert 0.3 < sum(values) / len(values) < 0.8
+
+    def test_expovariate_bad_rate(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"x").expovariate(0.0)

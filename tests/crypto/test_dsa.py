@@ -1,0 +1,95 @@
+"""DSA — the alternative signature scheme of paper §3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import dsa
+from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture(scope="module")
+def key():
+    return dsa.generate_keypair(HmacDrbg(b"dsa-tests"))
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return dsa.generate_keypair(HmacDrbg(b"dsa-tests-other"))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, key):
+        rng = HmacDrbg(b"dsa-sign")
+        signature = dsa.sign(key, b"message", rng)
+        assert dsa.verify(key.public_key(), b"message", signature)
+
+    def test_wrong_message(self, key):
+        rng = HmacDrbg(b"dsa-sign-2")
+        signature = dsa.sign(key, b"message", rng)
+        assert not dsa.verify(key.public_key(), b"other", signature)
+
+    def test_wrong_key(self, key, other_key):
+        rng = HmacDrbg(b"dsa-sign-3")
+        signature = dsa.sign(key, b"message", rng)
+        assert not dsa.verify(other_key.public_key(), b"message", signature)
+
+    def test_randomized_signatures(self, key):
+        """Unlike our RSA, DSA signatures differ per signing."""
+        rng = HmacDrbg(b"dsa-rand")
+        s1 = dsa.sign(key, b"same", rng)
+        s2 = dsa.sign(key, b"same", rng)
+        assert s1 != s2
+        assert dsa.verify(key.public_key(), b"same", s1)
+        assert dsa.verify(key.public_key(), b"same", s2)
+
+    def test_component_range_enforced(self, key):
+        q = key.group.q
+        assert not dsa.verify(key.public_key(), b"m", (0, 1))
+        assert not dsa.verify(key.public_key(), b"m", (1, 0))
+        assert not dsa.verify(key.public_key(), b"m", (q, 1))
+        assert not dsa.verify(key.public_key(), b"m", (1, q))
+
+    def test_malformed_signature(self, key):
+        assert not dsa.verify(key.public_key(), b"m", None)
+        assert not dsa.verify(key.public_key(), b"m", (1, 2, 3))
+
+    def test_tampered_components(self, key):
+        rng = HmacDrbg(b"dsa-tamper")
+        r, s = dsa.sign(key, b"message", rng)
+        assert not dsa.verify(key.public_key(), b"message", (r + 1, s))
+        assert not dsa.verify(key.public_key(), b"message", (r, s + 1))
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, message):
+        key = dsa.generate_keypair(HmacDrbg(b"dsa-hyp-key"))
+        rng = HmacDrbg(b"dsa-hyp-sign")
+        assert dsa.verify(key.public_key(), message, dsa.sign(key, message, rng))
+
+
+class TestKeys:
+    def test_public_key_relation(self, key):
+        public = key.public_key()
+        assert public.y == pow(key.group.g, key.x, key.group.p)
+
+    def test_deterministic_keygen(self):
+        k1 = dsa.generate_keypair(HmacDrbg(b"same-seed"))
+        k2 = dsa.generate_keypair(HmacDrbg(b"same-seed"))
+        assert k1.x == k2.x
+
+    def test_nonce_uniqueness_diagnostic(self, key):
+        messages = [f"m{i}".encode() for i in range(200)]
+        dsa.require_distinct_nonces(key, messages, HmacDrbg(b"nonce-check"))
+
+
+class TestFrameworkAgnosticism:
+    def test_bridging_digest_signable_with_dsa(self, key):
+        """The §3 point: MSU/MSP can be DSA just as well as RSA."""
+        from repro.crypto.hashes import digest
+
+        md5 = digest("md5", b"bridged payload")
+        rng = HmacDrbg(b"dsa-bridging")
+        msu = dsa.sign(key, b"bridging-msu|" + md5, rng)
+        assert dsa.verify(key.public_key(), b"bridging-msu|" + md5, msu)
+        assert not dsa.verify(key.public_key(), b"bridging-msu|" + b"\x00" * 16, msu)

@@ -1,0 +1,87 @@
+"""Hybrid RSA-KEM encryption."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import kem, rsa
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DecryptionError
+
+
+_HYP_KEY = rsa.generate_keypair(512, HmacDrbg(b"kem-hyp"))
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa.generate_keypair(512, HmacDrbg(b"kem-tests"))
+
+
+class TestRoundtrip:
+    def test_basic(self, key):
+        rng = HmacDrbg(b"kem")
+        blob = kem.hybrid_encrypt(key.public_key(), b"bulk data " * 100, rng)
+        assert kem.hybrid_decrypt(key, blob) == b"bulk data " * 100
+
+    def test_empty(self, key):
+        rng = HmacDrbg(b"kem-empty")
+        assert kem.hybrid_decrypt(key, kem.hybrid_encrypt(key.public_key(), b"", rng)) == b""
+
+    def test_larger_than_rsa_block(self, key):
+        """The whole point: payloads far beyond one RSA block."""
+        rng = HmacDrbg(b"kem-large")
+        payload = b"x" * 100_000
+        assert kem.hybrid_decrypt(key, kem.hybrid_encrypt(key.public_key(), payload, rng)) == payload
+
+    def test_aad_bound(self, key):
+        rng = HmacDrbg(b"kem-aad")
+        blob = kem.hybrid_encrypt(key.public_key(), b"payload", rng, aad=b"ctx-1")
+        assert kem.hybrid_decrypt(key, blob, aad=b"ctx-1") == b"payload"
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(key, blob, aad=b"ctx-2")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_random(self, payload):
+        key = _HYP_KEY  # module-level: hypothesis cannot take fixtures
+        rng = HmacDrbg(b"kem-hyp-enc")
+        assert kem.hybrid_decrypt(key, kem.hybrid_encrypt(key.public_key(), payload, rng)) == payload
+
+    def test_key_too_small_for_session_key(self):
+        """A 256-bit modulus cannot wrap the 32-byte session key."""
+        from repro.errors import CryptoError
+
+        tiny = rsa.generate_keypair(256, HmacDrbg(b"kem-tiny"))
+        with pytest.raises(CryptoError):
+            kem.hybrid_encrypt(tiny.public_key(), b"x", HmacDrbg(b"r"))
+
+
+class TestTamper:
+    def _blob(self, key):
+        return kem.hybrid_encrypt(key.public_key(), b"protect me", HmacDrbg(b"kem-t"))
+
+    def test_flip_in_wrapped_key(self, key):
+        blob = bytearray(self._blob(key))
+        blob[10] ^= 1
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(key, bytes(blob))
+
+    def test_flip_in_sealed_box(self, key):
+        blob = bytearray(self._blob(key))
+        blob[-5] ^= 1
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(key, bytes(blob))
+
+    def test_truncation(self, key):
+        blob = self._blob(key)
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(key, blob[: len(blob) // 2])
+
+    def test_too_short(self, key):
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(key, b"\x00")
+
+    def test_wrong_recipient(self, key):
+        other = rsa.generate_keypair(512, HmacDrbg(b"kem-other"))
+        with pytest.raises(DecryptionError):
+            kem.hybrid_decrypt(other, self._blob(key))

@@ -1,0 +1,113 @@
+"""Unit tests for repro.crypto.primes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.primes import (
+    MERSENNE_521,
+    SMALL_PRIMES,
+    generate_prime,
+    generate_safe_prime,
+    is_prime,
+    miller_rabin,
+    next_prime,
+)
+from repro.errors import CryptoError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2_147_483_647]
+KNOWN_COMPOSITES = [1, 4, 9, 100, 561, 1105, 6601, 8911, 2_147_483_649]
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAEL)
+    def test_carmichael_numbers(self, n):
+        """Carmichael numbers fool Fermat but not Miller-Rabin."""
+        assert not is_prime(n)
+
+    def test_below_two(self):
+        assert not is_prime(0)
+        assert not is_prime(1)
+        assert not is_prime(-7)
+
+    def test_mersenne_521_is_prime(self):
+        assert is_prime(MERSENNE_521)
+
+    def test_extra_random_witnesses(self):
+        rng = HmacDrbg(b"witnesses")
+        assert is_prime(2_147_483_647, rng=rng, rounds=5)
+        assert not is_prime(2_147_483_647 * 3, rng=rng, rounds=5)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        by_division = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_prime(n) == by_division
+
+
+class TestMillerRabin:
+    def test_witness_finds_composite(self):
+        assert not miller_rabin(221, [137])  # 137 is a witness for 221 = 13*17
+
+    def test_strong_liar_passes(self):
+        assert miller_rabin(221, [174])  # 174 is a strong liar for 221
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [16, 64, 256])
+    def test_bit_length_exact(self, bits):
+        rng = HmacDrbg(b"genprime")
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_prime(p)
+
+    def test_odd(self):
+        rng = HmacDrbg(b"genprime-odd")
+        assert generate_prime(32, rng) % 2 == 1
+
+    def test_deterministic_from_seed(self):
+        assert generate_prime(64, HmacDrbg(b"same")) == generate_prime(64, HmacDrbg(b"same"))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4, HmacDrbg(b"x"))
+
+    def test_top_two_bits_set(self):
+        """Product of two such primes has exactly 2*bits bits."""
+        rng = HmacDrbg(b"topbits")
+        for _ in range(3):
+            p = generate_prime(64, rng)
+            q = generate_prime(64, rng)
+            assert (p * q).bit_length() == 128
+
+
+class TestSafePrime:
+    def test_structure(self):
+        rng = HmacDrbg(b"safe")
+        p = generate_safe_prime(48, rng)
+        assert is_prime(p)
+        assert is_prime((p - 1) // 2)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_safe_prime(8, HmacDrbg(b"x"))
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize("n,expected", [(0, 2), (2, 3), (3, 5), (10, 11), (7918, 7919)])
+    def test_known(self, n, expected):
+        assert next_prime(n) == expected
+
+    def test_small_primes_table_consistent(self):
+        for a, b in zip(SMALL_PRIMES, SMALL_PRIMES[1:]):
+            assert next_prime(a) == b

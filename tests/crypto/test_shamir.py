@@ -1,0 +1,125 @@
+"""Shamir secret sharing (the paper's SKS)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import shamir
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import SecretSharingError
+
+
+class TestSplitRecover:
+    def test_exact_threshold(self):
+        rng = HmacDrbg(b"sks-1")
+        shares = shamir.split_secret(123456789, 5, 3, rng)
+        assert shamir.recover_secret(shares[:3]) == 123456789
+
+    def test_any_subset_of_threshold_size(self):
+        rng = HmacDrbg(b"sks-2")
+        shares = shamir.split_secret(987654321, 5, 3, rng)
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert shamir.recover_secret(list(subset)) == 987654321
+
+    def test_more_than_threshold(self):
+        rng = HmacDrbg(b"sks-3")
+        shares = shamir.split_secret(42, 4, 2, rng)
+        assert shamir.recover_secret(shares) == 42
+
+    def test_below_threshold_gives_wrong_secret(self):
+        rng = HmacDrbg(b"sks-4")
+        shares = shamir.split_secret(42, 3, 3, rng)
+        assert shamir.recover_secret(shares[:2]) != 42
+
+    def test_two_of_two(self):
+        """The §3.2 configuration: user + provider, both required."""
+        rng = HmacDrbg(b"sks-5")
+        shares = shamir.split_secret(0xDEADBEEF, 2, 2, rng)
+        assert shamir.recover_secret(shares) == 0xDEADBEEF
+
+    def test_threshold_one_is_replication(self):
+        rng = HmacDrbg(b"sks-6")
+        shares = shamir.split_secret(7, 3, 1, rng)
+        for share in shares:
+            assert shamir.recover_secret([share]) == 7
+
+    def test_zero_secret(self):
+        rng = HmacDrbg(b"sks-7")
+        shares = shamir.split_secret(0, 3, 2, rng)
+        assert shamir.recover_secret(shares[:2]) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 256) - 1),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, secret, threshold, extra):
+        rng = HmacDrbg(b"sks-hyp")
+        n = threshold + extra
+        shares = shamir.split_secret(secret, n, threshold, rng)
+        assert shamir.recover_secret(shares, threshold) == secret
+
+
+class TestValidation:
+    def test_secret_out_of_field(self):
+        with pytest.raises(SecretSharingError):
+            shamir.split_secret(shamir._PRIME, 3, 2, HmacDrbg(b"x"))
+
+    def test_n_below_threshold(self):
+        with pytest.raises(SecretSharingError):
+            shamir.split_secret(1, 2, 3, HmacDrbg(b"x"))
+
+    def test_zero_threshold(self):
+        with pytest.raises(SecretSharingError):
+            shamir.split_secret(1, 3, 0, HmacDrbg(b"x"))
+
+    def test_no_shares(self):
+        with pytest.raises(SecretSharingError):
+            shamir.recover_secret([])
+
+    def test_duplicate_x(self):
+        rng = HmacDrbg(b"dup")
+        shares = shamir.split_secret(9, 3, 2, rng)
+        with pytest.raises(SecretSharingError):
+            shamir.recover_secret([shares[0], shares[0]])
+
+    def test_share_validation(self):
+        with pytest.raises(SecretSharingError):
+            shamir.Share(x=0, y=1)
+        with pytest.raises(SecretSharingError):
+            shamir.Share(x=1, y=-1)
+
+
+class TestDigestSharing:
+    def test_md5_roundtrip(self):
+        rng = HmacDrbg(b"digest-1")
+        md5 = bytes(range(16))
+        shares = shamir.split_digest(md5, 2, 2, rng)
+        assert shamir.recover_digest(shares, 16) == md5
+
+    def test_sha256_roundtrip(self):
+        rng = HmacDrbg(b"digest-2")
+        sha = bytes(range(32))
+        shares = shamir.split_digest(sha, 3, 2, rng)
+        assert shamir.recover_digest(shares[1:], 32) == sha
+
+    def test_leading_zero_digest(self):
+        """The 0x01 guard byte preserves leading zeros."""
+        rng = HmacDrbg(b"digest-3")
+        md5 = b"\x00\x00" + bytes(14)
+        shares = shamir.split_digest(md5, 2, 2, rng)
+        assert shamir.recover_digest(shares, 16) == md5
+
+    def test_corrupted_share_detected(self):
+        rng = HmacDrbg(b"digest-4")
+        shares = shamir.split_digest(bytes(16), 2, 2, rng)
+        bad = shamir.Share(x=shares[1].x, y=(shares[1].y + 12345) % shamir._PRIME)
+        with pytest.raises(SecretSharingError):
+            shamir.recover_digest([shares[0], bad], 16)
+
+    def test_digest_too_large(self):
+        with pytest.raises(SecretSharingError):
+            shamir.split_digest(b"\xff" * 66, 2, 2, HmacDrbg(b"x"))

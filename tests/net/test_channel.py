@@ -1,0 +1,83 @@
+"""Channel model: delays, loss, duplication, corruption."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import NetworkError
+from repro.net.channel import LOSSY, PERFECT, WAN, ChannelSpec
+
+
+class TestValidation:
+    def test_negative_latency(self):
+        with pytest.raises(NetworkError):
+            ChannelSpec(base_latency=-1.0)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(NetworkError):
+            ChannelSpec(bandwidth_bps=0)
+
+    @pytest.mark.parametrize("field", ["drop_prob", "duplicate_prob", "corrupt_prob"])
+    def test_probability_bounds(self, field):
+        with pytest.raises(NetworkError):
+            ChannelSpec(**{field: 1.5})
+        with pytest.raises(NetworkError):
+            ChannelSpec(**{field: -0.1})
+
+
+class TestDelay:
+    def test_perfect_channel_zero_delay(self):
+        rng = HmacDrbg(b"chan")
+        assert PERFECT.one_way_delay(10_000, rng) == 0.0
+
+    def test_base_latency_only(self):
+        rng = HmacDrbg(b"chan")
+        spec = ChannelSpec(base_latency=0.05)
+        assert spec.one_way_delay(10_000, rng) == 0.05
+
+    def test_serialization_delay_scales_with_size(self):
+        rng = HmacDrbg(b"chan")
+        spec = ChannelSpec(base_latency=0.0, bandwidth_bps=1000.0)
+        assert spec.one_way_delay(500, rng) == pytest.approx(0.5)
+        assert spec.one_way_delay(2000, rng) == pytest.approx(2.0)
+
+    def test_jitter_bounded(self):
+        rng = HmacDrbg(b"chan-jitter")
+        spec = ChannelSpec(base_latency=0.1, jitter=0.02)
+        delays = [spec.one_way_delay(0, rng) for _ in range(200)]
+        assert all(0.1 <= d <= 0.12 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+
+class TestSampling:
+    def test_perfect_delivers_exactly_once(self):
+        rng = HmacDrbg(b"sample")
+        for _ in range(50):
+            deliveries = PERFECT.sample(100, rng)
+            assert len(deliveries) == 1
+            assert not deliveries[0].corrupted
+
+    def test_always_drop(self):
+        rng = HmacDrbg(b"sample-drop")
+        spec = ChannelSpec(drop_prob=1.0)
+        assert spec.sample(100, rng) == []
+
+    def test_drop_rate_statistics(self):
+        rng = HmacDrbg(b"sample-stats")
+        spec = ChannelSpec(drop_prob=0.3)
+        n = 2000
+        dropped = sum(1 for _ in range(n) if not spec.sample(100, rng))
+        assert 0.25 < dropped / n < 0.35
+
+    def test_always_duplicate(self):
+        rng = HmacDrbg(b"sample-dup")
+        spec = ChannelSpec(duplicate_prob=1.0)
+        assert len(spec.sample(100, rng)) == 2
+
+    def test_always_corrupt(self):
+        rng = HmacDrbg(b"sample-corrupt")
+        spec = ChannelSpec(corrupt_prob=1.0)
+        assert all(d.corrupted for d in spec.sample(100, rng))
+
+    def test_presets_are_valid(self):
+        for preset in (PERFECT, WAN, LOSSY):
+            assert isinstance(preset, ChannelSpec)

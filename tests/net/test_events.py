@@ -1,0 +1,142 @@
+"""The discrete-event engine and simulated clock."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.events import Simulator
+from repro.net.simclock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_no_time_travel(self):
+        clock = SimClock(10.0)
+        with pytest.raises(NetworkError):
+            clock.advance_to(5.0)
+
+    def test_advance_by(self):
+        clock = SimClock(1.0)
+        clock.advance_by(2.5)
+        assert clock.now == 3.5
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(NetworkError):
+            SimClock().advance_by(-1.0)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def outer():
+            hits.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: hits.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert hits == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(NetworkError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(NetworkError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        hits = []
+        event = sim.schedule(1.0, lambda: hits.append("cancelled"))
+        sim.schedule(2.0, lambda: hits.append("kept"))
+        event.cancel()
+        sim.run()
+        assert hits == ["kept"]
+
+    def test_cancel_from_inside_event(self):
+        sim = Simulator()
+        hits = []
+        later = sim.schedule(2.0, lambda: hits.append("should-not-run"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert hits == []
+
+
+class TestRun:
+    def test_run_until_slices(self):
+        sim = Simulator()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: hits.append(t))
+        sim.run(until=2.0)
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.0
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.pending() == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_event_budget(self):
+        sim = Simulator(max_events=10)
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(NetworkError):
+            sim.run()

@@ -1,0 +1,111 @@
+"""Multi-hop topologies compiled to end-to-end channels."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.topology import LinkSpec, Topology, dumbbell_topology
+
+
+class TestLinkSpec:
+    def test_defaults_valid(self):
+        LinkSpec()
+
+    def test_negative_latency(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(latency=-1.0)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(bandwidth_bps=0)
+
+    def test_bad_loss(self):
+        with pytest.raises(NetworkError):
+            LinkSpec(loss_prob=1.5)
+
+
+class TestTopology:
+    def make_line(self):
+        """a -- r1 -- r2 -- b with distinct hop characteristics."""
+        topo = Topology()
+        topo.add_host("a")
+        topo.add_host("b")
+        topo.add_router("r1")
+        topo.add_router("r2")
+        topo.add_link("a", "r1", LinkSpec(latency=0.001, bandwidth_bps=1e9))
+        topo.add_link("r1", "r2", LinkSpec(latency=0.020, bandwidth_bps=1e7, loss_prob=0.1))
+        topo.add_link("r2", "b", LinkSpec(latency=0.002, bandwidth_bps=1e9))
+        return topo
+
+    def test_hosts_vs_routers(self):
+        topo = self.make_line()
+        assert topo.hosts == ["a", "b"]
+
+    def test_link_requires_nodes(self):
+        topo = Topology()
+        topo.add_host("a")
+        with pytest.raises(NetworkError):
+            topo.add_link("a", "ghost")
+
+    def test_path(self):
+        topo = self.make_line()
+        assert topo.path("a", "b") == ["a", "r1", "r2", "b"]
+
+    def test_no_path(self):
+        topo = Topology()
+        topo.add_host("a")
+        topo.add_host("b")
+        with pytest.raises(NetworkError):
+            topo.path("a", "b")
+
+    def test_latency_sums(self):
+        channel = self.make_line().path_channel("a", "b")
+        assert channel.base_latency == pytest.approx(0.023)
+
+    def test_bandwidth_is_bottleneck(self):
+        channel = self.make_line().path_channel("a", "b")
+        assert channel.bandwidth_bps == 1e7
+
+    def test_loss_compounds(self):
+        topo = self.make_line()
+        topo.graph.edges["a", "r1"]["spec"] = LinkSpec(latency=0.001, loss_prob=0.1)
+        channel = topo.path_channel("a", "b")
+        assert channel.drop_prob == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_shortest_path_chosen(self):
+        """A slow direct link loses to a fast two-hop path."""
+        topo = Topology()
+        for name in ("a", "b"):
+            topo.add_host(name)
+        topo.add_router("r")
+        topo.add_link("a", "b", LinkSpec(latency=0.5))
+        topo.add_link("a", "r", LinkSpec(latency=0.01))
+        topo.add_link("r", "b", LinkSpec(latency=0.01))
+        assert topo.path("a", "b") == ["a", "r", "b"]
+
+    def test_diameter(self):
+        topo = dumbbell_topology(["c1", "c2"], ["s1"])
+        assert topo.diameter_latency() == pytest.approx(0.04)
+
+
+class TestDumbbell:
+    def test_structure(self):
+        topo = dumbbell_topology(["alice"], ["bob", "ttp"])
+        assert topo.hosts == ["alice", "bob", "ttp"]
+        assert topo.path("alice", "bob") == ["alice", "edge-left", "edge-right", "bob"]
+
+    def test_same_side_avoids_backbone(self):
+        topo = dumbbell_topology(["alice"], ["bob", "ttp"])
+        channel = topo.path_channel("bob", "ttp")
+        assert channel.base_latency == pytest.approx(0.010)  # two access links
+
+    def test_install_on_deployment(self):
+        """End-to-end: TPNR over a dumbbell topology."""
+        from repro.core import TxStatus, make_deployment, run_upload
+
+        topo = dumbbell_topology(["alice"], ["bob", "ttp"])
+        dep = make_deployment(seed=b"topo-deploy", topology=topo)
+        outcome = run_upload(dep, b"over the dumbbell")
+        assert outcome.upload_status is TxStatus.COMPLETED
+        # Two messages, each crossing the 40 ms dumbbell path (plus a
+        # little serialization delay on the 100 Mbit backbone).
+        assert outcome.elapsed == pytest.approx(0.08, rel=0.01)

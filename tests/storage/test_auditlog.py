@@ -1,0 +1,143 @@
+"""The hash-chained, checkpoint-signed audit log."""
+
+import pytest
+from dataclasses import replace
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import digest
+from repro.crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from repro.errors import IntegrityError, StorageError
+from repro.storage.auditlog import AuditLog, verify_chain
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = HmacDrbg(b"audit-tests")
+    ca = CertificateAuthority("ca", rng)
+    registry = KeyRegistry(ca)
+    operator = Identity.generate("eve-storage", rng)
+    registry.enroll(operator)
+    return registry, operator
+
+
+def filled_log(operator, n=10, interval=4):
+    log = AuditLog(operator, checkpoint_interval=interval)
+    for i in range(n):
+        log.append("put", "c", f"obj-{i % 3}", f"contents-{i}".encode(), at_time=float(i))
+    return log
+
+
+class TestAppend:
+    def test_indices_sequential(self, world):
+        _, operator = world
+        log = filled_log(operator)
+        assert [e.index for e in log.entries] == list(range(10))
+
+    def test_chain_hashes_distinct(self, world):
+        _, operator = world
+        log = filled_log(operator)
+        hashes = {e.chain_hash for e in log.entries}
+        assert len(hashes) == len(log.entries)
+
+    def test_auto_checkpoints(self, world):
+        _, operator = world
+        log = filled_log(operator, n=10, interval=4)
+        assert [c.upto_index for c in log.checkpoints] == [3, 7]
+
+    def test_manual_checkpoint(self, world):
+        _, operator = world
+        log = filled_log(operator, n=3, interval=100)
+        checkpoint = log.checkpoint()
+        assert checkpoint.upto_index == 2
+
+    def test_checkpoint_empty_log(self, world):
+        _, operator = world
+        with pytest.raises(StorageError):
+            AuditLog(operator).checkpoint()
+
+    def test_bad_interval(self, world):
+        _, operator = world
+        with pytest.raises(StorageError):
+            AuditLog(operator, checkpoint_interval=0)
+
+
+class TestVerify:
+    def test_genuine_chain_verifies(self, world):
+        registry, operator = world
+        log = filled_log(operator)
+        covered = verify_chain(log.entries, log.checkpoints, registry, "eve-storage")
+        assert covered == 7
+
+    def test_empty_log_verifies(self, world):
+        registry, _ = world
+        assert verify_chain([], [], registry, "eve-storage") == -1
+
+    def test_edited_entry_detected(self, world):
+        registry, operator = world
+        log = filled_log(operator)
+        entries = list(log.entries)
+        entries[4] = replace(entries[4], object_digest=digest("sha256", b"forged"))
+        with pytest.raises(IntegrityError, match="chain hash"):
+            verify_chain(entries, log.checkpoints, registry, "eve-storage")
+
+    def test_reordering_detected(self, world):
+        registry, operator = world
+        log = filled_log(operator)
+        entries = list(log.entries)
+        entries[2], entries[3] = entries[3], entries[2]
+        with pytest.raises(IntegrityError):
+            verify_chain(entries, log.checkpoints, registry, "eve-storage")
+
+    def test_truncation_past_checkpoint_detected(self, world):
+        registry, operator = world
+        log = filled_log(operator)
+        with pytest.raises(IntegrityError, match="truncation"):
+            verify_chain(log.entries[:5], log.checkpoints, registry, "eve-storage")
+
+    def test_forged_checkpoint_detected(self, world):
+        registry, operator = world
+        log = filled_log(operator)
+        bad = [replace(log.checkpoints[0], signature=bytes(64))]
+        with pytest.raises(IntegrityError, match="signature"):
+            verify_chain(log.entries, bad, registry, "eve-storage")
+
+    def test_deleted_tail_without_checkpoint_is_silent(self, world):
+        """Entries after the last checkpoint are uncommitted — dropping
+        them verifies (which is exactly why checkpoints must be frequent)."""
+        registry, operator = world
+        log = filled_log(operator, n=10, interval=4)
+        covered = verify_chain(log.entries[:8], log.checkpoints, registry, "eve-storage")
+        assert covered == 7
+
+
+class TestForensics:
+    def test_digest_history(self, world):
+        _, operator = world
+        log = AuditLog(operator, checkpoint_interval=100)
+        log.append("put", "c", "k", b"v1", at_time=1.0)
+        log.append("put", "c", "other", b"x", at_time=2.0)
+        log.append("put", "c", "k", b"v2", at_time=3.0)
+        history = log.digest_history("c", "k")
+        assert [e.at_time for e in history] == [1.0, 3.0]
+
+    def test_last_change_window(self, world):
+        """Narrow a tamper event to between two log entries."""
+        _, operator = world
+        log = AuditLog(operator, checkpoint_interval=100)
+        expected = digest("sha256", b"honest")
+        log.append("put", "c", "k", b"honest", at_time=1.0)
+        log.append("get", "c", "k", b"honest", at_time=2.0)
+        log.append("get", "c", "k", b"tampered!", at_time=3.0)
+        last_ok, first_bad = log.last_change_between_checkpoints("c", "k", expected)
+        assert last_ok == 1
+        assert first_bad == 2
+
+    def test_never_matching(self, world):
+        _, operator = world
+        log = AuditLog(operator, checkpoint_interval=100)
+        log.append("put", "c", "k", b"always wrong", at_time=1.0)
+        last_ok, first_bad = log.last_change_between_checkpoints(
+            "c", "k", digest("sha256", b"expected")
+        )
+        assert last_ok is None
+        assert first_bad == 0

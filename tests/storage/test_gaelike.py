@@ -1,0 +1,127 @@
+"""The GAE/SDC platform model (paper §2.3 / Fig. 4)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pki import Identity
+from repro.errors import AuthenticationError, AuthorizationError, NoSuchObjectError
+from repro.storage.gaelike import (
+    GaeLikeService,
+    ResourceRule,
+    SdcAgent,
+    TunnelServer,
+    make_signed_request,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = HmacDrbg(b"gae-tests")
+    service = GaeLikeService(rng)
+    app = Identity.generate("app", rng)
+    service.register_app(app, consumer_key="consumer-1", token="tok-1")
+    service.sdc.add_rule(ResourceRule("user-*", "records/*"))
+    service.datastore_put("records", "r1", b"record one")
+    return rng, service, app
+
+
+def request_for(world, **overrides):
+    rng, _, app = world
+    fields = dict(owner_id="owner", viewer_id="user-1", resource="records/r1")
+    fields.update(overrides)
+    return make_signed_request(app, rng, **fields)
+
+
+class TestPipeline:
+    def test_authorized_request_returns_data(self, world):
+        _, service, _ = world
+        assert service.handle_request(request_for(world)) == b"record one"
+
+    def test_unknown_consumer_blocked_at_tunnel(self, world):
+        _, service, _ = world
+        with pytest.raises(AuthenticationError, match="tunnel"):
+            service.handle_request(request_for(world, consumer_key="rogue"))
+
+    def test_resource_rules_deny(self, world):
+        _, service, _ = world
+        with pytest.raises(AuthorizationError):
+            service.handle_request(request_for(world, viewer_id="contractor-9"))
+
+    def test_wrong_resource_denied(self, world):
+        _, service, _ = world
+        with pytest.raises(AuthorizationError):
+            service.handle_request(request_for(world, resource="secrets/r1"))
+
+    def test_invalid_token(self, world):
+        _, service, _ = world
+        with pytest.raises(AuthenticationError, match="token"):
+            service.handle_request(request_for(world, token="expired"))
+
+    def test_nonce_replay(self, world):
+        _, service, _ = world
+        request = request_for(world)
+        service.handle_request(request)
+        with pytest.raises(AuthenticationError, match="replay"):
+            service.handle_request(request)
+
+    def test_tampered_resource_breaks_signature(self, world):
+        _, service, _ = world
+        request = replace(request_for(world), resource="records/r1-altered")
+        with pytest.raises(AuthenticationError, match="signature"):
+            service.handle_request(request)
+
+    def test_unregistered_key(self, world):
+        rng, service, _ = world
+        imposter = Identity.generate("imposter", rng)
+        request = make_signed_request(
+            imposter, rng, owner_id="owner", viewer_id="user-1",
+            resource="records/r1", consumer_key="consumer-1",
+        )
+        with pytest.raises(AuthenticationError, match="unregistered"):
+            service.handle_request(request)
+
+    def test_missing_object(self, world):
+        _, service, _ = world
+        with pytest.raises(NoSuchObjectError):
+            service.handle_request(request_for(world, resource="records/ghost"))
+
+    def test_malformed_resource(self, world):
+        _, service, _ = world
+        service.sdc.add_rule(ResourceRule("user-*", "norecord"))
+        with pytest.raises(NoSuchObjectError):
+            service.handle_request(request_for(world, resource="norecord"))
+
+
+class TestComponents:
+    def test_tunnel_counts_connections(self):
+        tunnel = TunnelServer({"c1"})
+        request = type("R", (), {"consumer_key": "c1"})()
+        tunnel.validate(request)
+        assert tunnel.connections_established == 1
+
+    def test_rule_matching(self):
+        rule = ResourceRule("user-*", "data/*", allow=True)
+        assert rule.matches("user-1", "data/x")
+        assert not rule.matches("admin", "data/x")
+        assert not rule.matches("user-1", "other/x")
+
+    def test_deny_rule_short_circuits(self):
+        agent = SdcAgent([
+            ResourceRule("user-*", "data/secret", allow=False),
+            ResourceRule("user-*", "data/*", allow=True),
+        ])
+        request = type("R", (), {"viewer_id": "user-1", "resource": "data/secret"})()
+        with pytest.raises(AuthorizationError):
+            agent.authorize(request)
+
+    def test_no_rules_means_deny(self):
+        agent = SdcAgent()
+        request = type("R", (), {"viewer_id": "u", "resource": "r"})()
+        with pytest.raises(AuthorizationError):
+            agent.authorize(request)
+
+    def test_datastore_get_put(self, world):
+        _, service, _ = world
+        service.datastore_put("kind", "key", b"value")
+        assert service.datastore_get("kind", "key") == b"value"

@@ -1,0 +1,62 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["list"], ["experiment", "F5"], ["gauntlet"], ["demo"],
+                     ["workload", "--clients", "2"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "Z9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_t1(self, capsys):
+        assert main(["experiment", "T1", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "[T1]" in out and "PUT" in out
+
+    def test_experiment_case_insensitive(self, capsys):
+        assert main(["experiment", "t1", "--seed", "cli-test"]) == 0
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "cli-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "provider-at-fault" in out
+        assert "upload.receipt" in out  # the sequence diagram
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--clients", "2", "--transactions", "2",
+                     "--seed", "cli-wl"]) == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+        assert "all terminated" in out and ": yes" in out
+
+    def test_gauntlet(self, capsys):
+        assert main(["gauntlet", "--seed", "cli-g"]) == 0
+        out = capsys.readouterr().out
+        assert "TPNR defense holds: True" in out
+
+    def test_experiment_registry_complete(self):
+        """Every experiment id documented in DESIGN.md §4 is runnable."""
+        for expected in ("T1", "F1", "F2", "F3", "F4", "F5", "F6",
+                         "S3", "S4", "S5", "S6", "W1", "R1", "A1"):
+            assert expected in EXPERIMENTS
