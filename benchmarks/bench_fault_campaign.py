@@ -1,0 +1,12 @@
+"""FC1 — extension: seeded fault-injection campaign over TPNR sessions."""
+
+from repro.analysis.experiments import experiment_fault_campaign
+
+
+def test_bench_fault_campaign(benchmark, emit):
+    result = benchmark.pedantic(experiment_fault_campaign, rounds=1, iterations=1)
+    assert result.facts["all_settled"]
+    assert result.facts["hung_sessions"] == 0
+    assert result.facts["violations"] == 0
+    assert result.facts["plans"] >= 50
+    emit(result)

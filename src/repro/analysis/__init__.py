@@ -9,6 +9,7 @@ from .experiments import (
     ExperimentResult,
     experiment_attacks,
     experiment_evidence_ablation,
+    experiment_fault_campaign,
     experiment_resilience,
     experiment_scalability,
     experiment_bridging,
@@ -44,6 +45,7 @@ __all__ = [
     "resilience_sweep",
     "run_workload",
     "experiment_evidence_ablation",
+    "experiment_fault_campaign",
     "experiment_resilience",
     "experiment_scalability",
     "ExperimentResult",

@@ -25,7 +25,15 @@ __all__ = ["TimelinessAttack", "DelayAdversary"]
 
 
 class DelayAdversary(Adversary):
-    """Holds matching messages and releases them much later."""
+    """Holds every matching message and releases them all much later.
+
+    Holding *every* matching transmission (not just the first) matters
+    now that senders retransmit: a single held copy would simply be
+    outrun by a fresh retransmission.  Interception times are strictly
+    increasing, so ``replay_later`` with a fixed delay preserves the
+    original send order — the stale messages arrive with their sequence
+    numbers still monotone.
+    """
 
     def __init__(self, kind_to_delay: str, delay: float) -> None:
         super().__init__(name="delayer", positions=None)
@@ -35,7 +43,7 @@ class DelayAdversary(Adversary):
 
     def on_intercept(self, envelope: Envelope) -> None:
         self.seen.append(envelope)
-        if envelope.kind == self.kind_to_delay and self.delayed == 0:
+        if envelope.kind == self.kind_to_delay:
             self.delayed += 1
             self.replay_later(envelope, self.delay)
         else:

@@ -55,6 +55,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "W1": (exp.experiment_scalability, "extension — multi-client scalability"),
     "R1": (exp.experiment_resilience, "extension — loss resilience"),
     "A1": (exp.experiment_evidence_ablation, "ablation — evidence encryption"),
+    "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
 }
 
 

@@ -48,6 +48,8 @@ class UploadHandle:
     data_size: int
     auto_resolve: bool = True
     timeout_event: ScheduledEvent | None = None
+    abort_deadline_event: ScheduledEvent | None = None
+    abort_replied: bool = False
     abort_retries_left: int = 1
     pending_abort_after_error: bool = False
     data: bytes | None = None  # retained while restarts remain
@@ -113,10 +115,30 @@ class TpnrClient(TpnrParty):
         )
         self.uploads[transaction_id] = handle
         self.send(provider, "tpnr.upload", message)
+        self._arm_upload_retransmit(transaction_id)
         handle.timeout_event = self.set_timeout(
             self.policy.response_timeout, lambda: self._on_upload_timeout(transaction_id)
         )
         return transaction_id
+
+    def _arm_upload_retransmit(self, transaction_id: str) -> None:
+        handle = self.uploads[transaction_id]
+        record = self.transactions[transaction_id]
+
+        def rebuild() -> TpnrMessage:
+            assert handle.data is not None
+            header = self.make_header(
+                Flag.UPLOAD, handle.provider, transaction_id, handle.data_hash
+            )
+            return self.make_message(header, data=handle.data)
+
+        self.arm_retransmit(
+            ("upload", transaction_id),
+            handle.provider,
+            "tpnr.upload",
+            rebuild,
+            lambda: record.status is TxStatus.PENDING and handle.data is not None,
+        )
 
     def _restart_upload(self, transaction_id: str) -> None:
         """Re-send the UPLOAD for a session the provider asked to
@@ -130,6 +152,7 @@ class TpnrClient(TpnrParty):
         header = self.make_header(Flag.UPLOAD, handle.provider, transaction_id, handle.data_hash)
         message = self.make_message(header, data=handle.data)
         self.send(handle.provider, "tpnr.upload", message)
+        self._arm_upload_retransmit(transaction_id)
         handle.timeout_event = self.set_timeout(
             self.policy.response_timeout, lambda: self._on_upload_timeout(transaction_id)
         )
@@ -138,6 +161,7 @@ class TpnrClient(TpnrParty):
         record = self.transactions[transaction_id]
         if record.status is not TxStatus.PENDING:
             return
+        self.cancel_retransmit(("upload", transaction_id))
         handle = self.uploads[transaction_id]
         if handle.auto_resolve and self.ttp_name:
             self.start_resolve(transaction_id, report="no upload receipt before time-out")
@@ -153,19 +177,37 @@ class TpnrClient(TpnrParty):
         handle = self.uploads.get(transaction_id)
         if handle is None:
             raise ProtocolError(f"no upload known for {transaction_id!r}")
+        result = DownloadResult(transaction_id=transaction_id)
+        self.downloads[transaction_id] = result
+        self._send_download_request(transaction_id)
+        self.arm_retransmit(
+            ("download", transaction_id),
+            handle.provider,
+            "tpnr.download.request",
+            lambda: self._build_download_request(transaction_id),
+            lambda: result.data is None and not result.detail,
+        )
+        self.set_timeout(
+            self.policy.response_timeout, lambda: self._on_download_timeout(transaction_id)
+        )
+
+    def _build_download_request(self, transaction_id: str) -> TpnrMessage:
+        handle = self.uploads[transaction_id]
         header = self.make_header(
             Flag.DOWNLOAD_REQUEST, handle.provider, transaction_id, handle.data_hash
         )
-        message = self.make_message(header)
-        self.downloads[transaction_id] = DownloadResult(transaction_id=transaction_id)
-        self.send(handle.provider, "tpnr.download.request", message)
-        self.set_timeout(
-            self.policy.response_timeout, lambda: self._on_download_timeout(transaction_id)
+        return self.make_message(header)
+
+    def _send_download_request(self, transaction_id: str) -> None:
+        handle = self.uploads[transaction_id]
+        self.send(
+            handle.provider, "tpnr.download.request", self._build_download_request(transaction_id)
         )
 
     def _on_download_timeout(self, transaction_id: str) -> None:
         result = self.downloads.get(transaction_id)
         if result is not None and result.data is None and not result.detail:
+            self.cancel_retransmit(("download", transaction_id))
             result.detail = "timeout waiting for download response"
             if self.uploads[transaction_id].auto_resolve and self.ttp_name:
                 self.start_resolve(transaction_id, report="no download response before time-out")
@@ -239,8 +281,41 @@ class TpnrClient(TpnrParty):
             raise ProtocolError(f"no upload known for {transaction_id!r}")
         if handle.timeout_event is not None:
             handle.timeout_event.cancel()
-        header = self.make_header(Flag.ABORT, handle.provider, transaction_id, handle.data_hash)
-        self.send(handle.provider, "tpnr.abort", self.make_message(header))
+        self.cancel_retransmit(("upload", transaction_id))
+        record = self.transactions[transaction_id]
+        handle.abort_replied = False
+
+        def rebuild() -> TpnrMessage:
+            header = self.make_header(
+                Flag.ABORT, handle.provider, transaction_id, handle.data_hash
+            )
+            return self.make_message(header)
+
+        self.send(handle.provider, "tpnr.abort", rebuild())
+        self.arm_retransmit(
+            ("abort", transaction_id),
+            handle.provider,
+            "tpnr.abort",
+            rebuild,
+            lambda: record.status is TxStatus.PENDING and not handle.abort_replied,
+        )
+        if handle.abort_deadline_event is not None:
+            handle.abort_deadline_event.cancel()
+        handle.abort_deadline_event = self.set_timeout(
+            self.policy.response_timeout, lambda: self._on_abort_timeout(transaction_id)
+        )
+
+    def _on_abort_timeout(self, transaction_id: str) -> None:
+        """No Accept/Reject/Error arrived: stop waiting (§5.5 finite
+        termination) — the signed abort-NRO in hand still proves Alice
+        tried to cancel."""
+        record = self.transactions.get(transaction_id)
+        handle = self.uploads.get(transaction_id)
+        if record is None or handle is None or handle.abort_replied:
+            return
+        self.cancel_retransmit(("abort", transaction_id))
+        if record.status is TxStatus.PENDING:
+            record.finish(TxStatus.FAILED, self.now, "abort unacknowledged by provider")
 
     # ------------------------------------------------------------------
     # Resolve (§4.3)
@@ -252,14 +327,24 @@ class TpnrClient(TpnrParty):
             raise ProtocolError("no TTP configured")
         record = self.transactions[transaction_id]
         record.status = TxStatus.RESOLVING
-        header = self.make_header(
-            Flag.RESOLVE_REQUEST, self.ttp_name, transaction_id, record.data_hash
+
+        def rebuild() -> TpnrMessage:
+            header = self.make_header(
+                Flag.RESOLVE_REQUEST, self.ttp_name, transaction_id, record.data_hash
+            )
+            return self.make_message(
+                header,
+                annotations=(("report", report), ("counterparty", record.peer)),
+            )
+
+        self.send(self.ttp_name, "tpnr.resolve.request", rebuild())
+        self.arm_retransmit(
+            ("resolve", transaction_id),
+            self.ttp_name,
+            "tpnr.resolve.request",
+            rebuild,
+            lambda: record.status is TxStatus.RESOLVING,
         )
-        message = self.make_message(
-            header,
-            annotations=(("report", report), ("counterparty", record.peer)),
-        )
-        self.send(self.ttp_name, "tpnr.resolve.request", message)
         # Even the resolve request can be lost; bound the wait so the
         # protocol always terminates in finite time (§5.5's fairness
         # requirement: "each party can stop the execution after a
@@ -270,6 +355,7 @@ class TpnrClient(TpnrParty):
     def _on_resolve_timeout(self, transaction_id: str) -> None:
         record = self.transactions.get(transaction_id)
         if record is not None and record.status is TxStatus.RESOLVING:
+            self.cancel_retransmit(("resolve", transaction_id))
             record.finish(TxStatus.FAILED, self.now, "resolve timed out (TTP unreachable?)")
 
     # ------------------------------------------------------------------
@@ -277,6 +363,8 @@ class TpnrClient(TpnrParty):
     # ------------------------------------------------------------------
 
     def on_message(self, envelope: Envelope) -> None:
+        if self.corrupted_inbound(envelope):
+            return
         message = envelope.payload
         if not isinstance(message, TpnrMessage):
             self.reject(envelope.kind, "not a TPNR message")
@@ -319,6 +407,8 @@ class TpnrClient(TpnrParty):
         if record.status in (TxStatus.PENDING, TxStatus.RESOLVING):
             if handle.timeout_event is not None:
                 handle.timeout_event.cancel()
+            self.cancel_retransmit(("upload", transaction_id))
+            self.cancel_retransmit(("resolve", transaction_id))
             handle.data = None  # no restarts needed anymore
             record.finish(TxStatus.COMPLETED, self.now)
 
@@ -329,6 +419,7 @@ class TpnrClient(TpnrParty):
         if result is None or handle is None:
             self.reject("tpnr.download.response", f"unknown transaction {transaction_id}")
             return
+        self.cancel_retransmit(("download", transaction_id))
         self.evidence_store.add(opened)  # Bob's NRR over what he served
         result.evidence_flags.append(message.header.flag.value)
         data = message.data or b""
@@ -361,6 +452,11 @@ class TpnrClient(TpnrParty):
             self.reject("tpnr.abort.reply", f"unknown transaction {transaction_id}")
             return
         self.evidence_store.add(opened)
+        handle.abort_replied = True
+        self.cancel_retransmit(("abort", transaction_id))
+        if handle.abort_deadline_event is not None:
+            handle.abort_deadline_event.cancel()
+            handle.abort_deadline_event = None
         flag = message.header.flag
         if flag is Flag.ABORT_ACCEPT:
             if record.status is TxStatus.PENDING:
@@ -371,6 +467,8 @@ class TpnrClient(TpnrParty):
             if handle.abort_retries_left > 0:
                 handle.abort_retries_left -= 1
                 self.abort(transaction_id)
+            elif record.status is TxStatus.PENDING:
+                record.finish(TxStatus.FAILED, self.now, "abort failed after retry")
             else:
                 record.detail = "abort failed after retry"
 
@@ -399,6 +497,7 @@ class TpnrClient(TpnrParty):
             self.evidence_store.add(embedded_evidence)
         action = message.annotation("action", ResolveAction.CONTINUE.value)
         self.resolve_outcomes[transaction_id] = action
+        self.cancel_retransmit(("resolve", transaction_id))
         if record.status is not TxStatus.RESOLVING:
             return
         handle = self.uploads.get(transaction_id)
@@ -421,5 +520,6 @@ class TpnrClient(TpnrParty):
             return
         self.evidence_store.add(opened)  # the TTP's signed failure statement
         self.resolve_outcomes[transaction_id] = "failed: provider unresponsive"
+        self.cancel_retransmit(("resolve", transaction_id))
         if record.status is TxStatus.RESOLVING:
             record.finish(TxStatus.FAILED, self.now, "TTP: provider did not respond")

@@ -6,13 +6,26 @@ policy, per-peer anti-replay state, an evidence store, and helpers to
 build outbound messages (allocating sequence numbers and nonces,
 stamping time limits, attaching evidence) and to validate inbound ones
 (time limit, sequence, nonce, evidence verification).
+
+It also hosts the retransmission engine every role shares: an
+unacknowledged message is rebuilt (fresh sequence number, nonce, and
+time limit — the §4 header machinery is exactly what distinguishes a
+legitimate retransmission from a replay) and re-sent with capped
+exponential backoff until the role-level acknowledgement arrives or the
+retry budget runs out, at which point the role's own timeout escalates
+to Abort/Resolve instead of hanging.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
 from ..crypto.drbg import HmacDrbg
 from ..crypto.pki import Identity, KeyRegistry
 from ..errors import ProtocolError, ReplayError
+from ..net.events import ScheduledEvent
+from ..net.network import Envelope
 from ..net.node import Node
 from .evidence import OpenedEvidence, build_evidence, open_evidence
 from .messages import Flag, Header, TpnrMessage
@@ -22,6 +35,19 @@ from .transaction import EvidenceStore, PeerState, TransactionRecord
 __all__ = ["TpnrParty"]
 
 _NONCE_SIZE = 16
+
+
+@dataclass
+class _RetransmitState:
+    """One armed retransmission loop."""
+
+    dst: str
+    kind: str
+    rebuild: Callable[[], TpnrMessage]
+    still_needed: Callable[[], bool]
+    attempts_left: int
+    delay: float
+    event: ScheduledEvent | None = None
 
 
 class TpnrParty(Node):
@@ -45,6 +71,8 @@ class TpnrParty(Node):
         self.transactions: dict[str, TransactionRecord] = {}
         self._peers: dict[str, PeerState] = {}
         self.rejected_messages: list[tuple[str, str]] = []  # (kind, reason)
+        self._retransmits: dict[Hashable, _RetransmitState] = {}
+        self.retransmits_sent = 0
 
     # -- state helpers -------------------------------------------------------
 
@@ -146,3 +174,75 @@ class TpnrParty(Node):
     def reject(self, kind: str, reason: str) -> None:
         """Record a rejected inbound message (attack metrics read this)."""
         self.rejected_messages.append((kind, reason))
+
+    def corrupted_inbound(self, envelope: Envelope) -> bool:
+        """Reject an envelope flagged corrupted in transit; True if so.
+
+        A corrupted message would fail signature/hash checks anyway;
+        rejecting it up front keeps the rejection reason crisp and lets
+        the sender's retransmission loop supply a clean copy.
+        """
+        if getattr(envelope, "corrupted", False):
+            self.reject(envelope.kind, "payload corrupted in transit")
+            return True
+        return False
+
+    # -- retransmission ---------------------------------------------------------
+
+    def arm_retransmit(
+        self,
+        key: Hashable,
+        dst: str,
+        kind: str,
+        rebuild: Callable[[], TpnrMessage],
+        still_needed: Callable[[], bool],
+    ) -> None:
+        """Start a retransmission loop for one unacknowledged message.
+
+        *rebuild* must construct a **fresh** message (new sequence
+        number, nonce, and time limit) each time — re-sending the
+        original bytes would trip the receiver's own anti-replay
+        checks.  *still_needed* is consulted before every firing; the
+        loop also stops when :meth:`cancel_retransmit` is called with
+        the same *key* or the ``max_retransmits`` budget is spent.
+        """
+        self.cancel_retransmit(key)
+        if self.policy.max_retransmits == 0:
+            return
+        state = _RetransmitState(
+            dst=dst,
+            kind=kind,
+            rebuild=rebuild,
+            still_needed=still_needed,
+            attempts_left=self.policy.max_retransmits,
+            delay=self.policy.retransmit_initial,
+        )
+        self._retransmits[key] = state
+        state.event = self.set_timeout(state.delay, lambda: self._retransmit_fire(key))
+
+    def cancel_retransmit(self, key: Hashable) -> None:
+        state = self._retransmits.pop(key, None)
+        if state is not None and state.event is not None:
+            state.event.cancel()
+
+    def cancel_all_retransmits(self) -> None:
+        for key in list(self._retransmits):
+            self.cancel_retransmit(key)
+
+    def _retransmit_fire(self, key: Hashable) -> None:
+        state = self._retransmits.get(key)
+        if state is None:
+            return
+        if not state.still_needed() or state.attempts_left <= 0:
+            self.cancel_retransmit(key)
+            return
+        state.attempts_left -= 1
+        self.retransmits_sent += 1
+        self.send(state.dst, state.kind, state.rebuild())
+        if state.attempts_left <= 0:
+            self.cancel_retransmit(key)
+            return
+        state.delay = min(
+            state.delay * self.policy.retransmit_backoff, self.policy.retransmit_cap
+        )
+        state.event = self.set_timeout(state.delay, lambda: self._retransmit_fire(key))

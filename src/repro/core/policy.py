@@ -28,6 +28,14 @@ class TpnrPolicy:
         Resolve reply before declaring the session failed.
     :param ttp_max_payload: the TTP never stores/forwards bulk data
         (§4.3); messages through the TTP above this size are rejected.
+    :param max_retransmits: how many times an unacknowledged message is
+        re-sent (with a fresh sequence number, nonce, and time limit —
+        the §4 machinery that makes a retransmission distinguishable
+        from a replay) before the sender escalates to Abort/Resolve.
+    :param retransmit_initial: delay before the first retransmission.
+    :param retransmit_backoff: multiplier applied to the delay after
+        each retransmission (capped exponential backoff).
+    :param retransmit_cap: upper bound on the inter-retransmit delay.
     :param encrypt_evidence: outer public-key encryption of evidence.
     :param enforce_sequence: reject non-monotonic sequence numbers.
     :param enforce_nonce: reject reused nonces.
@@ -40,6 +48,10 @@ class TpnrPolicy:
     message_time_limit: float = 30.0
     ttp_response_timeout: float = 5.0
     ttp_max_payload: int = 64 * 1024
+    max_retransmits: int = 3
+    retransmit_initial: float = 0.6
+    retransmit_backoff: float = 2.0
+    retransmit_cap: float = 2.5
     encrypt_evidence: bool = True
     enforce_sequence: bool = True
     enforce_nonce: bool = True
@@ -53,6 +65,14 @@ class TpnrPolicy:
             raise ProtocolError("message time limit must be positive")
         if self.ttp_max_payload < 1024:
             raise ProtocolError("TTP payload cap unreasonably small")
+        if self.max_retransmits < 0:
+            raise ProtocolError("max_retransmits must be non-negative")
+        if self.retransmit_initial <= 0:
+            raise ProtocolError("retransmit_initial must be positive")
+        if self.retransmit_backoff < 1.0:
+            raise ProtocolError("retransmit_backoff must be >= 1")
+        if self.retransmit_cap < self.retransmit_initial:
+            raise ProtocolError("retransmit_cap must be >= retransmit_initial")
 
     def weakened(self, **switches: bool) -> "TpnrPolicy":
         """A copy with named defences turned off (attack experiments)."""

@@ -76,6 +76,8 @@ class TpnrProvider(TpnrParty):
         self.store = BlobStore(f"{identity.name}/store")
         self.withheld_receipts: list[str] = []  # txns where NRR was withheld
         self.grants: dict[str, set[str]] = {}  # txn -> authorized downloaders
+        self.duplicate_requests = 0  # retransmitted uploads answered idempotently
+        self._download_acked: set[tuple[str, str]] = set()  # (txn, requester)
         # Optional hash-chained audit trail.  Note what it can and
         # cannot witness: the *service path* (uploads stored, bytes
         # served) is logged; raw in-storage tampering bypasses the
@@ -93,6 +95,8 @@ class TpnrProvider(TpnrParty):
     # ------------------------------------------------------------------
 
     def on_message(self, envelope: Envelope) -> None:
+        if self.corrupted_inbound(envelope):
+            return
         message = envelope.payload
         if not isinstance(message, TpnrMessage):
             self.reject(envelope.kind, "not a TPNR message")
@@ -109,6 +113,12 @@ class TpnrProvider(TpnrParty):
             self._handle_download_request(message, opened)
         elif flag is Flag.DOWNLOAD_ACK:
             self.evidence_store.add(opened)
+            self._download_acked.add(
+                (message.header.transaction_id, message.header.sender_id)
+            )
+            self.cancel_retransmit(
+                ("serve", message.header.transaction_id, message.header.sender_id)
+            )
         elif flag is Flag.GRANT:
             self._handle_grant(message, opened)
         elif flag is Flag.ABORT:
@@ -129,6 +139,23 @@ class TpnrProvider(TpnrParty):
             self.reject("tpnr.upload", "payload hash mismatch")
             return
         transaction_id = header.transaction_id
+        existing = self.transactions.get(transaction_id)
+        if existing is not None:
+            if existing.data_hash != header.data_hash:
+                self.reject("tpnr.upload", "transaction ID reuse with different data")
+                return
+            # A retransmission of an upload we already hold: answer
+            # idempotently.  Never re-store (that would overwrite the
+            # at-rest blob — including any post-upload state the client
+            # must be able to dispute) and never re-issue the receipt's
+            # transaction state; just repeat the NRR so the sender can
+            # stop retransmitting.
+            self.duplicate_requests += 1
+            self.evidence_store.add(opened)  # a fresh NRO is still evidence
+            if existing.status is TxStatus.ABORTED or self.behavior.silent_on_upload:
+                return
+            self._send_upload_receipt(transaction_id)
+            return
         self.evidence_store.add(opened)  # Alice's NRO
         self.store.put(_CONTAINER, transaction_id, data, at_time=self.now)
         self._audit("put", transaction_id, data)
@@ -195,6 +222,18 @@ class TpnrProvider(TpnrParty):
         if self.behavior.silent_on_download:
             self.withheld_receipts.append(transaction_id)
             return
+        requester = message.header.sender_id
+        self._download_acked.discard((transaction_id, requester))
+        self._serve_download(transaction_id, requester)
+        self.arm_retransmit(
+            ("serve", transaction_id, requester),
+            requester,
+            "tpnr.download.response",
+            lambda: self._build_download_response(transaction_id, requester),
+            lambda: (transaction_id, requester) not in self._download_acked,
+        )
+
+    def _build_download_response(self, transaction_id: str, requester: str) -> TpnrMessage:
         obj = self.store.get(_CONTAINER, transaction_id)
         served = obj.data
         self._audit("get", transaction_id, served)
@@ -203,12 +242,18 @@ class TpnrProvider(TpnrParty):
         # what lets the Arbitrator attribute fault later.
         response_header = self.make_header(
             Flag.DOWNLOAD_RESPONSE,
-            message.header.sender_id,
+            requester,
             transaction_id,
             digest("sha256", served),
         )
-        response = self.make_message(response_header, data=served)
-        self.send(message.header.sender_id, "tpnr.download.response", response)
+        return self.make_message(response_header, data=served)
+
+    def _serve_download(self, transaction_id: str, requester: str) -> None:
+        self.send(
+            requester,
+            "tpnr.download.response",
+            self._build_download_response(transaction_id, requester),
+        )
 
     # -- abort (§4.2) ---------------------------------------------------------------
 

@@ -114,9 +114,21 @@ class EvidenceStore:
     def __init__(self, owner: str) -> None:
         self.owner = owner
         self._by_txn: dict[str, list[OpenedEvidence]] = {}
+        self._seen: set[tuple[str, bytes]] = set()
+        self.duplicates_suppressed = 0
 
-    def add(self, evidence: OpenedEvidence) -> None:
+    def add(self, evidence: OpenedEvidence) -> bool:
+        """Archive one piece of evidence; returns False for an exact
+        duplicate (same signer, same signed header bytes) — duplicate
+        deliveries and retransmission races must never double-issue a
+        stored piece of evidence."""
+        key = (evidence.signer, evidence.header.to_signed_bytes())
+        if key in self._seen:
+            self.duplicates_suppressed += 1
+            return False
+        self._seen.add(key)
         self._by_txn.setdefault(evidence.header.transaction_id, []).append(evidence)
+        return True
 
     def for_transaction(self, transaction_id: str) -> list[OpenedEvidence]:
         return list(self._by_txn.get(transaction_id, []))

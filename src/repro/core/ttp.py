@@ -57,12 +57,15 @@ class TrustedThirdParty(TpnrParty):
         self.resolves_handled = 0
         self.failures_declared = 0
         self.bulk_rejections = 0
+        self.duplicate_requests = 0  # retransmitted requests for in-flight resolves
 
     # ------------------------------------------------------------------
     # Inbound dispatch
     # ------------------------------------------------------------------
 
     def on_message(self, envelope: Envelope) -> None:
+        if self.corrupted_inbound(envelope):
+            return
         message = envelope.payload
         if not isinstance(message, TpnrMessage):
             self.reject(envelope.kind, "not a TPNR message")
@@ -92,32 +95,54 @@ class TrustedThirdParty(TpnrParty):
         if not counterparty:
             self.reject("tpnr.resolve.request", "missing counterparty annotation")
             return
+        transaction_id = header.transaction_id
+        pending = self._pending.get(transaction_id)
+        if pending is not None and pending.requester == header.sender_id:
+            # A retransmitted resolve request while the counterparty
+            # query is already in flight: absorb it.  Starting a second
+            # query would double the TTP's workload and risk issuing
+            # two verdicts for one session.
+            self.duplicate_requests += 1
+            self.evidence_store.add(opened)
+            return
         self.evidence_store.add(opened)  # requester's NRO + anomaly report
         self.resolves_handled += 1
-        transaction_id = header.transaction_id
-        # Time-stamped query to the counterparty (§4.3).
-        query_header = self.make_header(
-            Flag.RESOLVE_QUERY, counterparty, transaction_id, header.data_hash
-        )
-        query = self.make_message(
-            query_header,
-            annotations=(
-                ("requester", header.sender_id),
-                ("timestamp", f"{self.now:.6f}"),
-                ("report", message.annotation("report")),
-            ),
-        )
+        report = message.annotation("report")
+        requester = header.sender_id
+
+        def rebuild() -> TpnrMessage:
+            # Time-stamped query to the counterparty (§4.3) — fresh
+            # header and timestamp on every (re)transmission.
+            query_header = self.make_header(
+                Flag.RESOLVE_QUERY, counterparty, transaction_id, header.data_hash
+            )
+            return self.make_message(
+                query_header,
+                annotations=(
+                    ("requester", requester),
+                    ("timestamp", f"{self.now:.6f}"),
+                    ("report", report),
+                ),
+            )
+
         timeout = self.set_timeout(
             self.policy.ttp_response_timeout,
             lambda: self._on_counterparty_timeout(transaction_id),
         )
         self._pending[transaction_id] = _PendingResolve(
             transaction_id=transaction_id,
-            requester=header.sender_id,
+            requester=requester,
             counterparty=counterparty,
             timeout_event=timeout,
         )
-        self.send(counterparty, "tpnr.resolve.query", query)
+        self.send(counterparty, "tpnr.resolve.query", rebuild())
+        self.arm_retransmit(
+            ("query", transaction_id),
+            counterparty,
+            "tpnr.resolve.query",
+            rebuild,
+            lambda: transaction_id in self._pending,
+        )
 
     # -- counterparty side ---------------------------------------------------------
 
@@ -150,6 +175,7 @@ class TrustedThirdParty(TpnrParty):
             self.reject("tpnr.resolve.reply", f"no pending resolve for {header.transaction_id}")
             return
         pending.timeout_event.cancel()
+        self.cancel_retransmit(("query", header.transaction_id))
         result_header = self.make_header(
             Flag.RESOLVE_RESULT, pending.requester, header.transaction_id, header.data_hash
         )
@@ -178,6 +204,7 @@ class TrustedThirdParty(TpnrParty):
         pending = self._pending.pop(transaction_id, None)
         if pending is None:
             return
+        self.cancel_retransmit(("query", transaction_id))
         self.failures_declared += 1
         failed_header = self.make_header(
             Flag.RESOLVE_FAILED, pending.requester, transaction_id, b"\x00" * 32

@@ -6,10 +6,21 @@ adversary interception hooks, and a miniature TLS (the paper's SSL
 stand-in).
 """
 
-from . import adversary, channel, events, network, node, securechannel, simclock, topology, trace
+from . import adversary, channel, events, faults, network, node, securechannel, simclock, topology, trace
 from .adversary import Adversary, PassiveEavesdropper
 from .channel import LOSSY, PERFECT, WAN, ChannelSpec, Delivery
 from .events import ScheduledEvent, Simulator
+from .faults import (
+    CampaignOutcome,
+    CampaignReport,
+    CampaignRunner,
+    CrashWindow,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    generate_plans,
+)
 from .network import Envelope, Network, wire_size
 from .node import Node
 from .securechannel import (
@@ -30,6 +41,7 @@ __all__ = [
     "adversary",
     "channel",
     "events",
+    "faults",
     "network",
     "node",
     "securechannel",
@@ -63,4 +75,13 @@ __all__ = [
     "SimClock",
     "TraceEvent",
     "TraceRecorder",
+    "FaultAction",
+    "FaultRule",
+    "CrashWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "generate_plans",
+    "CampaignOutcome",
+    "CampaignReport",
+    "CampaignRunner",
 ]

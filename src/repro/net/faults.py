@@ -1,0 +1,500 @@
+"""Seeded fault injection and campaign running.
+
+The resilience story of the TPNR reproduction so far rested on i.i.d.
+channel dice (:class:`repro.net.channel.ChannelSpec`).  Real failure
+modes are *targeted*: the Nth receipt is lost, a resolve query is
+delivered twice, a party is down for three seconds.  This module turns
+those into first-class, seeded, replayable objects:
+
+* :class:`FaultRule` — "apply *action* to the *nth* (and following
+  *count-1*) messages matching this kind/src/dst pattern";
+* :class:`CrashWindow` — a party is crashed (all traffic to and from
+  it is lost) for a time window; the restart itself is implicit in the
+  window's end, mirroring a process that reboots with its durable
+  state (keys, stores, sequence counters) intact;
+* :class:`FaultPlan` — a named bundle of rules + crash windows;
+* :class:`FaultInjector` — an :class:`~repro.net.adversary.Adversary`
+  that executes a plan and records every decision in the network trace
+  (``fault.*`` events carrying ``plan=<name> rule=<i> action=<a>``
+  notes), so each injected fault is attributable after the fact;
+* :func:`generate_plans` — a deterministic plan generator seeded by an
+  :class:`~repro.crypto.drbg.HmacDrbg`;
+* :class:`CampaignRunner` — sweeps a list of plans over fresh TPNR
+  sessions on one shared deployment, checks the non-repudiation
+  invariants after each (terminal state reached, no conflicting
+  evidence, every message accounted for in the trace), and emits a
+  reproducible outcome table via :mod:`repro.analysis.report`.
+
+Everything here is deterministic given the seed: running the same
+campaign twice yields byte-identical outcome tables, which is what
+makes a fault-campaign failure a *bug report* instead of an anecdote.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..crypto.drbg import HmacDrbg
+from .adversary import Adversary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.protocol import Deployment
+    from .network import Envelope
+
+__all__ = [
+    "FaultAction",
+    "FaultRule",
+    "CrashWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "generate_plans",
+    "CampaignOutcome",
+    "CampaignReport",
+    "CampaignRunner",
+    "TPNR_KINDS",
+]
+
+# Message kinds a fault plan can target (the full TPNR wire surface).
+TPNR_KINDS = (
+    "tpnr.upload",
+    "tpnr.upload.receipt",
+    "tpnr.download.request",
+    "tpnr.download.response",
+    "tpnr.download.ack",
+    "tpnr.resolve.request",
+    "tpnr.resolve.query",
+    "tpnr.resolve.reply",
+    "tpnr.resolve.result",
+)
+
+
+class FaultAction(enum.Enum):
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+    CORRUPT = "corrupt"
+    REORDER = "reorder"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Target the *nth* .. *nth+count-1* messages matching a pattern.
+
+    ``kind`` is a prefix match (``"tpnr.upload"`` also matches
+    ``"tpnr.upload.receipt"`` — use the exact kind to be precise);
+    empty ``src``/``dst`` match any party.  ``delay`` is used by DELAY
+    (seconds of hold) and REORDER (a short hold that lets the next
+    message overtake).
+    """
+
+    action: FaultAction
+    kind: str
+    src: str = ""
+    dst: str = ""
+    nth: int = 1
+    count: int = 1
+    delay: float = 2.0
+
+    def matches(self, envelope: "Envelope") -> bool:
+        if not envelope.kind.startswith(self.kind):
+            return False
+        if self.src and envelope.src != self.src:
+            return False
+        if self.dst and envelope.dst != self.dst:
+            return False
+        return True
+
+    def describe(self) -> str:
+        where = f"{self.src or '*'}->{self.dst or '*'}"
+        span = f"#{self.nth}" if self.count == 1 else f"#{self.nth}-{self.nth + self.count - 1}"
+        return f"{self.action.value}({self.kind} {where} {span})"
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Party *node* is down over [start, start+duration) seconds,
+    relative to the injector's epoch (the moment the plan is armed).
+    While down, every message to or from the node is lost; the node
+    "restarts" with durable state intact when the window closes."""
+
+    node: str
+    start: float
+    duration: float
+
+    def covers(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+    def describe(self) -> str:
+        return f"crash({self.node} @{self.start:g}s +{self.duration:g}s)"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, self-contained fault scenario."""
+
+    name: str
+    rules: tuple[FaultRule, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+
+    def describe(self) -> str:
+        parts = [r.describe() for r in self.rules] + [c.describe() for c in self.crashes]
+        return "; ".join(parts) if parts else "no-op"
+
+
+class FaultInjector(Adversary):
+    """Adversary that executes one :class:`FaultPlan`.
+
+    Every decision is written to the network trace as a ``fault.*``
+    event whose note names the plan and the rule index that fired —
+    the trace alone answers "why did message 17 disappear?".
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__(name=f"faults/{plan.name}", positions=None)
+        self.plan = plan
+        self.epoch = 0.0
+        self._match_counts = [0] * len(plan.rules)
+        self.decisions: list[tuple[int, str, str]] = []  # (msg_id, action, note)
+
+    def reset(self, epoch: float) -> None:
+        """Re-arm the plan (fresh match counters) at a new time origin."""
+        self.epoch = epoch
+        self._match_counts = [0] * len(self.plan.rules)
+
+    def _record(self, envelope: "Envelope", action: FaultAction | str, note: str) -> None:
+        label = action.value if isinstance(action, FaultAction) else action
+        self.network.record_fault(envelope, f"fault.{label}", note)
+        self.decisions.append((envelope.msg_id, label, note))
+
+    def on_intercept(self, envelope: "Envelope") -> None:
+        self.seen.append(envelope)
+        rel_now = self.network.sim.now - self.epoch
+        for crash in self.plan.crashes:
+            if crash.covers(rel_now) and crash.node in (envelope.src, envelope.dst):
+                self._record(
+                    envelope, "crash", f"plan={self.plan.name} {crash.describe()}"
+                )
+                self.drop(envelope)
+                return
+        for i, rule in enumerate(self.plan.rules):
+            if not rule.matches(envelope):
+                continue
+            self._match_counts[i] += 1
+            seen_no = self._match_counts[i]
+            if not (rule.nth <= seen_no < rule.nth + rule.count):
+                continue
+            note = f"plan={self.plan.name} rule={i} action={rule.action.value}"
+            self._record(envelope, rule.action, note)
+            if rule.action is FaultAction.DROP:
+                self.drop(envelope)
+            elif rule.action is FaultAction.DUPLICATE:
+                # The copy carries the same sequence number and nonce:
+                # the receiver's §5.3/§5.4 checks must shoot it down.
+                self.forward(envelope)
+                self.replay_later(envelope, 0.01)
+            elif rule.action is FaultAction.DELAY:
+                self.replay_later(envelope, rule.delay)
+            elif rule.action is FaultAction.CORRUPT:
+                self.forward_modified(envelope, corrupted=True)
+            else:  # REORDER: hold briefly so the next message overtakes
+                self.replay_later(envelope, rule.delay)
+            return
+        self.forward(envelope)
+
+
+def generate_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
+    """Deterministically generate *n* fault plans from *seed*.
+
+    The mix: mostly single-rule plans across the whole TPNR wire
+    surface (every action x kind x occurrence), some two-rule compound
+    plans, and roughly one in eight a party crash-and-restart window.
+    Same seed, same *n* -> the identical plan list, forever.
+    """
+    rng = HmacDrbg(seed, personalization=b"fault-plans")
+    actions = list(FaultAction)
+    parties = ("alice", "bob", "ttp")
+    plans: list[FaultPlan] = []
+    for i in range(n):
+        roll = rng.random()
+        if roll < 0.125:
+            node = rng.choice(parties)
+            # Start at (or near) zero: an undisturbed session is over in
+            # milliseconds, so a late window would never see traffic.
+            start = rng.choice((0.0, 0.0, 0.1, 0.7))
+            # Long windows (past the response time-out) force the
+            # survivor down the Resolve path; short ones are absorbed
+            # by retransmission alone.
+            duration = round(0.5 + rng.random() * 5.0, 3)
+            plans.append(
+                FaultPlan(
+                    name=f"p{i:03d}-crash-{node}",
+                    crashes=(CrashWindow(node, start, duration),),
+                )
+            )
+            continue
+
+        def one_rule() -> FaultRule:
+            action = rng.choice(actions)
+            # Bias toward kinds every Normal-mode session actually
+            # sends; resolve-path kinds only appear once a prior fault
+            # has forced an escalation.
+            kind = (
+                rng.choice(TPNR_KINDS[:5])
+                if rng.random() < 0.7
+                else rng.choice(TPNR_KINDS[5:])
+            )
+            nth = rng.randint(1, 2)
+            # DROP spans may exceed the whole retransmit budget
+            # (1 original + max_retransmits) to force escalation.
+            count = rng.randint(1, 5) if action is FaultAction.DROP else 1
+            delay = (
+                rng.choice((1.0, 2.0, 4.0))
+                if action is FaultAction.DELAY
+                else 0.05
+            )
+            return FaultRule(action=action, kind=kind, nth=nth, count=count, delay=delay)
+
+        rules = (one_rule(),) if roll < 0.875 else (one_rule(), one_rule())
+        tag = "+".join(r.action.value for r in rules)
+        plans.append(FaultPlan(name=f"p{i:03d}-{tag}", rules=rules))
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# Campaign running
+# ---------------------------------------------------------------------------
+
+_TERMINAL = frozenset({"completed", "aborted", "resolved", "failed"})
+
+
+@dataclass
+class CampaignOutcome:
+    """One plan's end-to-end result plus invariant verdicts."""
+
+    index: int
+    plan: FaultPlan
+    status: str
+    detail: str
+    ttp_involved: bool
+    steps: int
+    faults_fired: int
+    retransmits: int
+    duplicates_suppressed: int
+    download_ok: bool
+    violations: tuple[str, ...] = ()
+
+    @property
+    def hung(self) -> bool:
+        return self.status not in _TERMINAL
+
+    def row(self) -> tuple:
+        return (
+            self.index,
+            self.plan.name,
+            self.plan.describe(),
+            self.status,
+            self.detail,
+            "yes" if self.ttp_involved else "no",
+            self.steps,
+            self.faults_fired,
+            self.retransmits,
+            self.duplicates_suppressed,
+            "yes" if self.download_ok else "no",
+            "; ".join(self.violations) if self.violations else "-",
+        )
+
+
+@dataclass
+class CampaignReport:
+    """All outcomes of one campaign, renderable and comparable."""
+
+    seed: str
+    scenario: str
+    outcomes: list[CampaignOutcome] = field(default_factory=list)
+
+    HEADERS = (
+        "#", "plan", "faults", "status", "detail", "ttp",
+        "steps", "fired", "retx", "dup-supp", "dl-ok", "violations",
+    )
+
+    @property
+    def hung_sessions(self) -> int:
+        return sum(1 for o in self.outcomes if o.hung)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(len(o.violations) for o in self.outcomes)
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render(self) -> str:
+        from ..analysis.report import render_kv, render_table  # lazy: net must not import analysis at import time
+
+        table = render_table(
+            self.HEADERS,
+            [o.row() for o in self.outcomes],
+            title=f"Fault campaign seed={self.seed!r} scenario={self.scenario}",
+        )
+        summary = render_kv(
+            [
+                ("plans", len(self.outcomes)),
+                ("status counts", self.status_counts()),
+                ("hung sessions", self.hung_sessions),
+                ("invariant violations", self.violation_count),
+            ],
+            title="summary",
+        )
+        return f"{table}\n{summary}"
+
+    def signature(self) -> str:
+        """Stable digest of the outcome table — two campaigns with the
+        same seed must produce the same signature (transaction IDs are
+        process-global and deliberately excluded from rows)."""
+        body = "\n".join(repr(o.row()) for o in self.outcomes)
+        return hashlib.sha256(body.encode()).hexdigest()
+
+
+class CampaignRunner:
+    """Sweep fault plans over TPNR sessions and check invariants.
+
+    One deployment (one PKI, one simulator) is shared across all plans
+    — key generation dominates setup cost, and sharing it is also the
+    stronger test: residual state from a faulted session must not
+    poison the next one.  Each plan gets a fresh transaction, a fresh
+    fault injector arming, and a full invariant audit afterwards.
+    """
+
+    def __init__(
+        self,
+        seed: bytes | str = b"fault-campaign",
+        scenario: str = "session",
+        payload_range: tuple[int, int] = (64, 512),
+    ) -> None:
+        if scenario not in ("session", "upload", "abort"):
+            raise ValueError(f"unknown scenario {scenario!r}")
+        self.seed = seed if isinstance(seed, str) else seed.decode("latin-1")
+        self.scenario = scenario
+        self.payload_range = payload_range
+        self._rng = HmacDrbg(seed, personalization=b"fault-campaign")
+
+    def run(self, plans: list[FaultPlan]) -> CampaignReport:
+        from ..core.protocol import (  # lazy: avoid net <-> core import cycle
+            make_deployment,
+            run_abort,
+            run_session,
+            run_upload,
+        )
+
+        dep = make_deployment(seed=self.seed.encode("latin-1") + b"/campaign")
+        report = CampaignReport(seed=self.seed, scenario=self.scenario)
+        lo, hi = self.payload_range
+        for index, plan in enumerate(plans):
+            payload = self._rng.generate(self._rng.randint(lo, hi))
+            injector = FaultInjector(plan)
+            dep.network.install_adversary(injector)
+            injector.reset(epoch=dep.sim.now)
+            before = self._counters(dep)
+            if self.scenario == "abort":
+                outcome = run_abort(dep, payload)
+            elif self.scenario == "upload":
+                outcome = run_upload(dep, payload)
+            else:
+                outcome = run_session(dep, payload)
+            dep.network.remove_adversary()
+            after = self._counters(dep)
+            txn = outcome.transaction_id
+            violations = self._audit(dep, txn)
+            download = outcome.download
+            report.outcomes.append(
+                CampaignOutcome(
+                    index=index,
+                    plan=plan,
+                    status=outcome.upload_status.value,
+                    detail=outcome.upload_detail,
+                    ttp_involved=outcome.ttp_involved,
+                    steps=outcome.steps,
+                    faults_fired=len(dep.network.trace.faults()),
+                    retransmits=after[0] - before[0],
+                    duplicates_suppressed=after[1] - before[1],
+                    download_ok=bool(download and download.verified),
+                    violations=tuple(violations),
+                )
+            )
+        return report
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @staticmethod
+    def _counters(dep: "Deployment") -> tuple[int, int]:
+        parties = (dep.client, dep.provider, dep.ttp)
+        return (
+            sum(p.retransmits_sent for p in parties),
+            sum(p.evidence_store.duplicates_suppressed for p in parties),
+        )
+
+    # -- invariants ----------------------------------------------------------
+
+    def _audit(self, dep: "Deployment", txn: str) -> list[str]:
+        violations: list[str] = []
+        violations.extend(self._check_terminal(dep, txn))
+        violations.extend(self._check_evidence(dep, txn))
+        violations.extend(self._check_trace_accounting(dep))
+        return violations
+
+    @staticmethod
+    def _check_terminal(dep: "Deployment", txn: str) -> list[str]:
+        out = []
+        record = dep.client.transactions.get(txn)
+        if record is None or record.status.value not in _TERMINAL:
+            status = record.status.value if record else "missing"
+            out.append(f"client transaction not terminal: {status}")
+        if dep.sim.pending() != 0:
+            out.append(f"simulator not drained: {dep.sim.pending()} events pending")
+        return out
+
+    @staticmethod
+    def _check_evidence(dep: "Deployment", txn: str) -> list[str]:
+        """No conflicting evidence: for one transaction, each (signer,
+        flag) pair must attest a single data hash.  Retransmissions
+        legitimately re-issue evidence (fresh headers), but they must
+        all say the same thing; two receipts with different hashes
+        would be a double-issued, self-contradictory commitment."""
+        out = []
+        for party in (dep.client, dep.provider, dep.ttp):
+            attested: dict[tuple[str, str], set[bytes]] = {}
+            for ev in party.evidence_store.for_transaction(txn):
+                attested.setdefault(
+                    (ev.signer, ev.header.flag.value), set()
+                ).add(ev.header.data_hash)
+            for (signer, flag), hashes in attested.items():
+                if len(hashes) > 1 and flag != "DOWNLOAD_RESPONSE":
+                    out.append(
+                        f"{party.name} holds {len(hashes)} conflicting hashes "
+                        f"from {signer} for flag {flag}"
+                    )
+        return out
+
+    @staticmethod
+    def _check_trace_accounting(dep: "Deployment") -> list[str]:
+        """Every sent message has a recorded fate: delivered, dropped
+        by the channel, or attributed to a fault decision.  A message
+        that only appears as ``send`` vanished silently — exactly the
+        kind of bug fault injection exists to catch."""
+        out = []
+        trace = dep.network.trace
+        fates = {"deliver", "drop", "corrupt", "inject"}
+        for send in trace.sends():
+            events = trace.explain(send.msg_id)
+            accounted = any(
+                e.action in fates or e.action.startswith("fault.") for e in events
+            )
+            if not accounted:
+                out.append(f"message {send.msg_id} ({send.kind}) has no recorded fate")
+        return out

@@ -141,6 +141,7 @@ class Network:
                 TraceEvent(
                     self.sim.now, "drop", envelope.src, envelope.dst,
                     envelope.kind, envelope.size_bytes, envelope.msg_id,
+                    note=f"channel drop_prob={spec.drop_prob}",
                 )
             )
             return
@@ -163,7 +164,7 @@ class Network:
 
     # -- adversary API ---------------------------------------------------------
 
-    def inject(self, envelope: Envelope, *, mark: str = "inject") -> None:
+    def inject(self, envelope: Envelope, *, mark: str = "inject", note: str = "") -> None:
         """Adversary-originated (re)transmission of an envelope.
 
         Bypasses the adversary hook (no self-interception) and records
@@ -172,7 +173,21 @@ class Network:
         self.trace.record(
             TraceEvent(
                 self.sim.now, mark, envelope.src, envelope.dst,
-                envelope.kind, envelope.size_bytes, envelope.msg_id,
+                envelope.kind, envelope.size_bytes, envelope.msg_id, note,
             )
         )
         self._transmit(envelope)
+
+    def record_fault(self, envelope: Envelope, action: str, note: str) -> None:
+        """Record a fault-injection decision against *envelope*.
+
+        *action* is ``fault.<what>`` (drop/duplicate/delay/...), *note*
+        names the plan and rule that fired — together they make every
+        injected fault attributable from the trace alone.
+        """
+        self.trace.record(
+            TraceEvent(
+                self.sim.now, action, envelope.src, envelope.dst,
+                envelope.kind, envelope.size_bytes, envelope.msg_id, note,
+            )
+        )

@@ -16,15 +16,23 @@ __all__ = ["TraceEvent", "TraceRecorder"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One network-level occurrence."""
+    """One network-level occurrence.
+
+    ``note`` records *why* the event happened when the cause is not the
+    plain happy path: ``"channel"`` for channel-dice drops, and
+    ``"plan=<name> rule=<i> action=<a>"`` for fault-injection decisions
+    (actions ``fault.drop``/``fault.duplicate``/...), so a dropped
+    message is diagnosable from the trace alone.
+    """
 
     time: float
-    action: str  # "send" | "deliver" | "drop" | "corrupt" | "inject"
+    action: str  # "send" | "deliver" | "drop" | "corrupt" | "inject" | "fault.*"
     src: str
     dst: str
     kind: str  # protocol-level message kind, e.g. "tpnr.data+nro"
     size_bytes: int
     msg_id: int
+    note: str = ""
 
 
 @dataclass
@@ -50,6 +58,16 @@ class TraceRecorder:
 
     def drops(self) -> list[TraceEvent]:
         return [e for e in self.events if e.action == "drop"]
+
+    def faults(self) -> list[TraceEvent]:
+        """All fault-injection decisions (actions ``fault.*``)."""
+        return [e for e in self.events if e.action.startswith("fault.")]
+
+    def explain(self, msg_id: int) -> list[TraceEvent]:
+        """Every recorded event for one message, in order — the full
+        fate of the message (sent, then faulted/dropped/delivered),
+        which is what makes dropped-message bugs debuggable."""
+        return [e for e in self.events if e.msg_id == msg_id]
 
     def message_count(self, kind_prefix: str = "") -> int:
         """Number of protocol messages sent (the paper's "steps")."""

@@ -1,0 +1,184 @@
+"""Edge cases of the Abort (§4.2) and Resolve (§4.3) sub-protocols.
+
+The anti-replay trinity of §5.3–§5.5 — monotonic sequence numbers,
+fresh nonces, per-message time limits — plus the abort ERROR retry
+loop and resolution of transactions that already finished normally.
+"""
+
+import pytest
+
+from repro.core.client import TpnrClient  # noqa: F401  (import sanity)
+from repro.core.policy import TpnrPolicy
+from repro.core.protocol import make_deployment, run_abort, run_download, run_upload
+from repro.core.provider import ProviderBehavior
+from repro.core.transaction import PeerState, TxStatus
+from repro.errors import ReplayError
+from repro.net.adversary import Adversary
+
+PAYLOAD = b"edge case payload " * 4
+
+
+class Replayer(Adversary):
+    """Forwards everything; replays byte-identical copies of one kind."""
+
+    def __init__(self, kind, delay):
+        super().__init__(name=f"replayer/{kind}")
+        self.kind = kind
+        self.delay = delay
+        self.replayed = 0
+
+    def on_intercept(self, envelope):
+        self.seen.append(envelope)
+        self.forward(envelope)
+        if envelope.kind == self.kind and self.replayed == 0:
+            self.replayed += 1
+            self.replay_later(envelope, self.delay)
+
+
+# ---------------------------------------------------------------------------
+# Time limits (§5.5)
+# ---------------------------------------------------------------------------
+
+
+class TestExpiredTimeLimit:
+    def test_replay_after_time_limit_rejected_as_expired(self):
+        # A byte-identical copy held past message_time_limit trips the
+        # deadline check (which runs before the sequence check).
+        dep = make_deployment(seed=b"edge-expiry")
+        delay = dep.client.policy.message_time_limit + 5.0
+        dep.network.install_adversary(Replayer("tpnr.upload", delay))
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        assert any("expired" in reason for _, reason in dep.provider.rejected_messages)
+
+    def test_without_time_limit_nonce_check_still_catches_it(self):
+        # Defense in depth: disable §5.5 and the stale copy is still
+        # shot down by nonce freshness (§5.4).
+        policy = TpnrPolicy(enforce_time_limit=False)
+        dep = make_deployment(seed=b"edge-expiry-2", policy=policy)
+        delay = policy.message_time_limit + 5.0
+        dep.network.install_adversary(Replayer("tpnr.upload", delay))
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        reasons = [reason for _, reason in dep.provider.rejected_messages]
+        assert not any("expired" in r for r in reasons)
+        assert any("nonce" in r or "sequence" in r for r in reasons)
+
+
+# ---------------------------------------------------------------------------
+# Stale / duplicate sequence numbers (§5.3, §5.4)
+# ---------------------------------------------------------------------------
+
+
+class TestStaleSequence:
+    def test_prompt_replay_rejected_before_expiry(self):
+        # Replayed well inside the time limit: the monotonic sequence
+        # (or the nonce cache) rejects it, never the deadline.
+        dep = make_deployment(seed=b"edge-stale")
+        dep.network.install_adversary(Replayer("tpnr.upload", 0.5))
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        reasons = [reason for _, reason in dep.provider.rejected_messages]
+        assert reasons
+        assert all("expired" not in r for r in reasons)
+        assert any("sequence" in r or "nonce" in r for r in reasons)
+
+    def test_peer_state_rejects_stale_and_duplicate_seq(self):
+        state = PeerState()
+        state.check_receive(3, b"n1")
+        with pytest.raises(ReplayError, match="sequence"):
+            state.check_receive(3, b"n2")  # duplicate
+        with pytest.raises(ReplayError, match="sequence"):
+            state.check_receive(2, b"n3")  # stale
+        state.check_receive(4, b"n4")  # strictly above the mark: fine
+
+    def test_peer_state_rejects_nonce_reuse_even_with_fresh_seq(self):
+        state = PeerState()
+        state.check_receive(1, b"n1")
+        with pytest.raises(ReplayError, match="nonce"):
+            state.check_receive(2, b"n1")
+
+
+# ---------------------------------------------------------------------------
+# Abort edge cases (§4.2)
+# ---------------------------------------------------------------------------
+
+
+class TestAbortEdges:
+    def test_abort_of_unknown_transaction_gets_error_then_fails(self):
+        # Bob never saw the upload (all copies eaten), so the abort
+        # draws ABORT_ERROR; per §4.2 Alice double-checks, regenerates
+        # and resubmits — and when the retry also errors, the
+        # transaction ends FAILED instead of dangling.
+        class UploadEater(Adversary):
+            def on_intercept(self, envelope):
+                self.seen.append(envelope)
+                if envelope.kind == "tpnr.upload":
+                    self.drop(envelope)
+                else:
+                    self.forward(envelope)
+
+        dep = make_deployment(seed=b"edge-abort-err")
+        dep.network.install_adversary(UploadEater())
+        outcome = run_abort(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.FAILED
+        assert outcome.upload_detail == "abort failed after retry"
+        assert dep.sim.pending() == 0
+
+    def test_abort_after_completion_is_acknowledged_but_not_rewritten(self):
+        # Against an honest instant provider the upload completes
+        # before the abort arrives; Bob acknowledges without rewriting
+        # terminal state (Fig. 6(b): no TTP either way).
+        dep = make_deployment(seed=b"edge-abort-late")
+        outcome = run_abort(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        assert not outcome.ttp_involved
+        record = dep.provider.transactions[outcome.transaction_id]
+        assert record.detail == "abort accepted post-completion"
+
+    def test_abort_rejected_leaves_transaction_pending_with_detail(self):
+        dep = make_deployment(
+            seed=b"edge-abort-rej",
+            behavior=ProviderBehavior(silent_on_upload=True, reject_abort=True),
+        )
+        outcome = run_abort(dep, PAYLOAD)
+        record = dep.client.transactions[outcome.transaction_id]
+        assert record.detail == "abort rejected by provider"
+
+
+# ---------------------------------------------------------------------------
+# Resolve after successful completion (§4.3)
+# ---------------------------------------------------------------------------
+
+
+class TestResolveAfterCompletion:
+    def test_download_timeout_resolves_completed_transaction(self):
+        # Normal mode succeeds; later Bob stonewalls the download.
+        # The client escalates the *completed* transaction to the TTP,
+        # which extracts a fresh signed answer from Bob.
+        dep = make_deployment(seed=b"edge-resolve-done")
+        outcome = run_upload(dep, PAYLOAD)
+        assert outcome.upload_status is TxStatus.COMPLETED
+        dep.provider.behavior = ProviderBehavior(silent_on_download=True)
+        result = run_download(dep, outcome.transaction_id)
+        assert not result.verified
+        record = dep.client.transactions[outcome.transaction_id]
+        assert record.status is TxStatus.RESOLVED
+        assert dep.client.resolve_outcomes[outcome.transaction_id] == "continue"
+        assert dep.ttp.resolves_handled == 1
+        assert dep.sim.pending() == 0
+
+    def test_resolve_after_completion_reissues_no_upload_evidence(self):
+        # The resolve must not mint a second, conflicting NRR data
+        # hash for the transaction: per (signer, flag) there is still
+        # exactly one hash in Alice's evidence store.
+        dep = make_deployment(seed=b"edge-resolve-dup")
+        outcome = run_upload(dep, PAYLOAD)
+        dep.provider.behavior = ProviderBehavior(silent_on_download=True)
+        run_download(dep, outcome.transaction_id)
+        per_signer_flag: dict[tuple[str, str], set[bytes]] = {}
+        for ev in dep.client.evidence_store.for_transaction(outcome.transaction_id):
+            key = (ev.signer, ev.header.flag.value)
+            per_signer_flag.setdefault(key, set()).add(ev.header.data_hash)
+        for key, hashes in per_signer_flag.items():
+            assert len(hashes) == 1, f"conflicting evidence for {key}"

@@ -1,0 +1,137 @@
+"""Codec round-trip property: decode(encode(m)) == m, seeded-random m.
+
+The wire format is the trust boundary of the whole simulation — every
+header field that anti-replay depends on (sequence number, nonce, time
+limit, data hash) crosses it.  Random messages, including embedded
+relays and unicode annotation values, must survive the trip bit-exact,
+and mutilated frames must fail loudly rather than mis-parse.
+"""
+
+import pytest
+
+from repro.core.codec import CODEC_VERSION, decode_message, encode_message
+from repro.core.messages import Flag, Header, TpnrMessage
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import ProtocolError
+
+TRIALS = 40
+
+_IDENT_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-_/."
+_VALUE_ALPHABET = _IDENT_ALPHABET + " :,=§µλ"  # annotation values may be unicode
+
+
+def _rand_text(rng, alphabet, lo, hi):
+    return "".join(rng.choice(alphabet) for _ in range(rng.randint(lo, hi)))
+
+
+def random_header(rng: HmacDrbg) -> Header:
+    return Header(
+        flag=rng.choice(list(Flag)),
+        sender_id=_rand_text(rng, _IDENT_ALPHABET, 1, 24),
+        recipient_id=_rand_text(rng, _IDENT_ALPHABET, 1, 24),
+        ttp_id=_rand_text(rng, _IDENT_ALPHABET, 0, 24),
+        transaction_id=_rand_text(rng, _IDENT_ALPHABET, 1, 40),
+        sequence_number=rng.randint(0, 2**32 - 1),
+        nonce=rng.generate(16),
+        time_limit=rng.randint(0, 10**6) / 1000.0,
+        data_hash=rng.generate(32),
+    )
+
+
+def random_message(rng: HmacDrbg, depth: int = 1) -> TpnrMessage:
+    data = rng.generate(rng.randint(0, 600)) if rng.random() < 0.6 else None
+    annotations = tuple(
+        (_rand_text(rng, _IDENT_ALPHABET, 1, 12), _rand_text(rng, _VALUE_ALPHABET, 0, 30))
+        for _ in range(rng.randint(0, 4))
+    )
+    embedded = ()
+    if depth > 0 and rng.random() < 0.4:
+        embedded = tuple(
+            random_message(rng, depth - 1) for _ in range(rng.randint(1, 2))
+        )
+    return TpnrMessage(
+        header=random_header(rng),
+        data=data,
+        evidence=rng.generate(rng.randint(0, 400)),
+        annotations=annotations,
+        embedded=embedded,
+    )
+
+
+class TestCodecRoundTrip:
+    def test_random_messages_survive_round_trip(self):
+        rng = HmacDrbg(b"prop/codec")
+        for trial in range(TRIALS):
+            message = random_message(rng)
+            assert decode_message(encode_message(message)) == message, f"trial {trial}"
+
+    def test_round_trip_is_byte_stable(self):
+        # encode . decode . encode is the identity on frames.
+        rng = HmacDrbg(b"prop/codec-stable")
+        for _ in range(TRIALS):
+            frame = encode_message(random_message(rng))
+            assert encode_message(decode_message(frame)) == frame
+
+    def test_embedded_relay_round_trips(self):
+        # The Resolve path nests Bob's reply inside the TTP's result.
+        rng = HmacDrbg(b"prop/codec-embed")
+        inner = random_message(rng, depth=0)
+        outer = TpnrMessage(
+            header=random_header(rng),
+            data=None,
+            evidence=rng.generate(64),
+            embedded=(inner,),
+        )
+        decoded = decode_message(encode_message(outer))
+        assert decoded.embedded == (inner,)
+
+
+class TestCodecStrictness:
+    def _frame(self, seed=b"prop/codec-strict"):
+        return encode_message(random_message(HmacDrbg(seed)))
+
+    def test_every_truncation_rejected(self):
+        frame = self._frame()
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_message(frame[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        frame = self._frame()
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_message(frame + b"\x00")
+
+    def test_bad_magic_rejected(self):
+        frame = self._frame()
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_message(b"XXXX" + frame[4:])
+
+    def test_wrong_version_rejected(self):
+        frame = self._frame()
+        bumped = frame[:4] + bytes([CODEC_VERSION + 1]) + frame[5:]
+        with pytest.raises(ProtocolError, match="version"):
+            decode_message(bumped)
+
+    def test_codec_requires_exact_nonce_and_hash_sizes(self):
+        rng = HmacDrbg(b"prop/codec-sizes")
+        header = random_header(rng)
+        short_nonce = Header(
+            flag=header.flag, sender_id=header.sender_id,
+            recipient_id=header.recipient_id, ttp_id=header.ttp_id,
+            transaction_id=header.transaction_id,
+            sequence_number=header.sequence_number,
+            nonce=b"\x01" * 8, time_limit=header.time_limit,
+            data_hash=header.data_hash,
+        )
+        with pytest.raises(ProtocolError, match="nonce"):
+            encode_message(TpnrMessage(header=short_nonce, data=None, evidence=b""))
+        short_hash = Header(
+            flag=header.flag, sender_id=header.sender_id,
+            recipient_id=header.recipient_id, ttp_id=header.ttp_id,
+            transaction_id=header.transaction_id,
+            sequence_number=header.sequence_number,
+            nonce=header.nonce, time_limit=header.time_limit,
+            data_hash=b"\x02" * 16,
+        )
+        with pytest.raises(ProtocolError, match="hash"):
+            encode_message(TpnrMessage(header=short_hash, data=None, evidence=b""))
