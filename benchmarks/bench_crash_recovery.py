@@ -1,0 +1,14 @@
+"""CR1 — extension: amnesia-crash recovery campaign over durable TPNR sessions."""
+
+from repro.analysis.experiments import experiment_crash_recovery
+
+
+def test_bench_crash_recovery(benchmark, emit):
+    result = benchmark.pedantic(experiment_crash_recovery, rounds=1, iterations=1)
+    assert result.facts["all_settled"]
+    assert result.facts["hung_sessions"] == 0
+    assert result.facts["violations"] == 0
+    assert result.facts["no_evidence_lost"]
+    assert result.facts["plans"] >= 100
+    assert result.facts["recoveries"] == result.facts["crashes"] >= 100
+    emit(result)

@@ -66,6 +66,7 @@ __all__ = [
     "experiment_scalability",
     "experiment_resilience",
     "experiment_fault_campaign",
+    "experiment_crash_recovery",
     "experiment_evidence_ablation",
 ]
 
@@ -777,5 +778,69 @@ def experiment_fault_campaign(
         notes="Each plan targets specific messages (or crashes a party) of one "
         "upload+download session; retransmission with capped backoff absorbs "
         "most faults, the Resolve path the rest. Identical seed => identical "
+        f"table (signature {facts['signature'][:16]}...).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CR1 — amnesia-crash recovery campaign
+# ---------------------------------------------------------------------------
+
+def experiment_crash_recovery(
+    seed: bytes = b"exp/cr1", n_plans: int = 100
+) -> ExperimentResult:
+    """Sweep seeded amnesia-crash plans over write-ahead-logged TPNR
+    sessions: each plan kills one party (sometimes twice), wiping its
+    volatile state and timers, and crash recovery rebuilds it from the
+    durable WAL prefix at restart.
+
+    The facts assert the durability contract: every session reaches a
+    terminal state, zero durably-acknowledged evidence records are
+    lost, no party holds conflicting evidence, and the outcome table
+    is byte-for-byte reproducible from its seed.
+    """
+    from ..net.faults import CampaignRunner, generate_amnesia_plans
+
+    plans = generate_amnesia_plans(seed, n_plans)
+    report = CampaignRunner(seed=seed, durable=True).run(plans)
+    status_counts = report.status_counts()
+    rows = [
+        [o.index, o.plan.name, o.plan.describe(), o.status,
+         o.crashes, o.recoveries, o.resumed, o.escalated,
+         "none" if not o.violations else "; ".join(o.violations)]
+        for o in report.outcomes
+    ]
+    evidence_intact = sum(
+        1
+        for o in report.outcomes
+        if not any("evidence" in v for v in o.violations)
+    )
+    facts: dict[str, Any] = {
+        "plans": len(report.outcomes),
+        "hung_sessions": report.hung_sessions,
+        "violations": report.violation_count,
+        "status_counts": status_counts,
+        "crashes": sum(o.crashes for o in report.outcomes),
+        "recoveries": sum(o.recoveries for o in report.outcomes),
+        "resumed": sum(o.resumed for o in report.outcomes),
+        "escalated": sum(o.escalated for o in report.outcomes),
+        "evidence_intact": evidence_intact,
+        "signature": report.signature(),
+        "all_settled": report.hung_sessions == 0,
+        "no_evidence_lost": not any(
+            "lost" in v for o in report.outcomes for v in o.violations
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="CR1",
+        title="Extension — amnesia-crash recovery campaign over durable TPNR sessions",
+        headers=["#", "plan", "faults", "status", "crash", "recov",
+                 "resumed", "escalated", "violations"],
+        rows=rows,
+        facts=facts,
+        notes="Every party journals evidence-bearing transitions to a "
+        "checksummed WAL before acting on them; an amnesia crash wipes its "
+        "volatile state mid-session and recovery replays the durable prefix, "
+        "re-sending or escalating in-flight work. Identical seed => identical "
         f"table (signature {facts['signature'][:16]}...).",
     )

@@ -56,6 +56,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "R1": (exp.experiment_resilience, "extension — loss resilience"),
     "A1": (exp.experiment_evidence_ablation, "ablation — evidence encryption"),
     "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
+    "CR1": (exp.experiment_crash_recovery, "extension — amnesia-crash recovery campaign"),
 }
 
 

@@ -54,6 +54,7 @@ class UploadHandle:
     pending_abort_after_error: bool = False
     data: bytes | None = None  # retained while restarts remain
     restarts_left: int = 1
+    aborting: bool = False  # an abort request is (durably) in flight
 
 
 @dataclass
@@ -84,6 +85,12 @@ class TpnrClient(TpnrParty):
         self.downloads: dict[str, DownloadResult] = {}
         self.resolve_outcomes: dict[str, str] = {}
 
+    def _wipe_role_state(self) -> None:
+        # resolve_outcomes survives: it is the harness's notebook, not
+        # process state (same rule as the rejection/retransmit counters).
+        self.uploads = {}
+        self.downloads = {}
+
     # ------------------------------------------------------------------
     # Upload (Normal mode, message 1 of 2)
     # ------------------------------------------------------------------
@@ -97,7 +104,7 @@ class TpnrClient(TpnrParty):
         data_hash = digest("sha256", data)
         header = self.make_header(Flag.UPLOAD, provider, transaction_id, data_hash)
         message = self.make_message(header, data=data)
-        self.transactions[transaction_id] = TransactionRecord(
+        record = TransactionRecord(
             transaction_id=transaction_id,
             role="client",
             peer=provider,
@@ -105,6 +112,7 @@ class TpnrClient(TpnrParty):
             data_size=len(data),
             started_at=self.now,
         )
+        self.transactions[transaction_id] = record
         handle = UploadHandle(
             transaction_id=transaction_id,
             provider=provider,
@@ -114,6 +122,19 @@ class TpnrClient(TpnrParty):
             data=bytes(data),
         )
         self.uploads[transaction_id] = handle
+        # Journal the intent (payload included) before the wire sees
+        # anything — a crash after this point can re-send the upload.
+        self.journal_txn(record)
+        if self.journal is not None:
+            self.journal.log(
+                "client.upload",
+                txn=transaction_id,
+                provider=provider,
+                data=bytes(data),
+                data_hash=data_hash,
+                data_size=len(data),
+                auto_resolve=auto_resolve,
+            )
         self.send(provider, "tpnr.upload", message)
         self._arm_upload_retransmit(transaction_id)
         handle.timeout_event = self.set_timeout(
@@ -140,15 +161,17 @@ class TpnrClient(TpnrParty):
             lambda: record.status is TxStatus.PENDING and handle.data is not None,
         )
 
-    def _restart_upload(self, transaction_id: str) -> None:
-        """Re-send the UPLOAD for a session the provider asked to
-        restart (fresh sequence number, nonce, and time limit; same
-        transaction ID and data)."""
+    def resume_upload(self, transaction_id: str) -> None:
+        """Re-send an in-flight UPLOAD (fresh sequence number, nonce,
+        and time limit; same transaction ID and data) and re-arm its
+        retransmit loop + timeout.  Used both for provider-requested
+        session restarts and by crash recovery."""
         handle = self.uploads[transaction_id]
         assert handle.data is not None
-        handle.restarts_left -= 1
         record = self.transactions[transaction_id]
-        record.status = TxStatus.PENDING
+        if record.status is not TxStatus.PENDING:
+            record.status = TxStatus.PENDING
+            self.journal_txn(record)
         header = self.make_header(Flag.UPLOAD, handle.provider, transaction_id, handle.data_hash)
         message = self.make_message(header, data=handle.data)
         self.send(handle.provider, "tpnr.upload", message)
@@ -156,6 +179,11 @@ class TpnrClient(TpnrParty):
         handle.timeout_event = self.set_timeout(
             self.policy.response_timeout, lambda: self._on_upload_timeout(transaction_id)
         )
+
+    def _restart_upload(self, transaction_id: str) -> None:
+        """Provider asked to restart the session (§4.2 Error path)."""
+        self.uploads[transaction_id].restarts_left -= 1
+        self.resume_upload(transaction_id)
 
     def _on_upload_timeout(self, transaction_id: str) -> None:
         record = self.transactions[transaction_id]
@@ -166,7 +194,7 @@ class TpnrClient(TpnrParty):
         if handle.auto_resolve and self.ttp_name:
             self.start_resolve(transaction_id, report="no upload receipt before time-out")
         else:
-            record.finish(TxStatus.FAILED, self.now, "timeout waiting for NRR")
+            self.finish_txn(record, TxStatus.FAILED, "timeout waiting for NRR")
 
     # ------------------------------------------------------------------
     # Download (Normal mode)
@@ -179,6 +207,8 @@ class TpnrClient(TpnrParty):
             raise ProtocolError(f"no upload known for {transaction_id!r}")
         result = DownloadResult(transaction_id=transaction_id)
         self.downloads[transaction_id] = result
+        if self.journal is not None:
+            self.journal.log("client.download", txn=transaction_id)
         self._send_download_request(transaction_id)
         self.arm_retransmit(
             ("download", transaction_id),
@@ -251,7 +281,7 @@ class TpnrClient(TpnrParty):
         """
         if transaction_id in self.uploads:
             raise ProtocolError(f"transaction {transaction_id!r} already known")
-        self.transactions[transaction_id] = TransactionRecord(
+        record = TransactionRecord(
             transaction_id=transaction_id,
             role="client",
             peer=provider,
@@ -261,14 +291,26 @@ class TpnrClient(TpnrParty):
             started_at=self.now,
             detail="imported from uploader",
         )
+        self.transactions[transaction_id] = record
         self.uploads[transaction_id] = UploadHandle(
             transaction_id=transaction_id,
             provider=provider,
             data_hash=data_hash,
             data_size=data_size,
         )
+        self.journal_txn(record)
+        if self.journal is not None:
+            self.journal.log(
+                "client.upload",
+                txn=transaction_id,
+                provider=provider,
+                data=None,
+                data_hash=data_hash,
+                data_size=data_size,
+                auto_resolve=True,
+            )
         if shared_receipt is not None:
-            self.evidence_store.add(shared_receipt)
+            self.archive_evidence(shared_receipt)
 
     # ------------------------------------------------------------------
     # Abort (§4.2)
@@ -284,6 +326,10 @@ class TpnrClient(TpnrParty):
         self.cancel_retransmit(("upload", transaction_id))
         record = self.transactions[transaction_id]
         handle.abort_replied = False
+        if not handle.aborting:
+            handle.aborting = True
+            if self.journal is not None:
+                self.journal.log("client.abort", txn=transaction_id)
 
         def rebuild() -> TpnrMessage:
             header = self.make_header(
@@ -315,7 +361,7 @@ class TpnrClient(TpnrParty):
             return
         self.cancel_retransmit(("abort", transaction_id))
         if record.status is TxStatus.PENDING:
-            record.finish(TxStatus.FAILED, self.now, "abort unacknowledged by provider")
+            self.finish_txn(record, TxStatus.FAILED, "abort unacknowledged by provider")
 
     # ------------------------------------------------------------------
     # Resolve (§4.3)
@@ -327,6 +373,7 @@ class TpnrClient(TpnrParty):
             raise ProtocolError("no TTP configured")
         record = self.transactions[transaction_id]
         record.status = TxStatus.RESOLVING
+        self.journal_txn(record)
 
         def rebuild() -> TpnrMessage:
             header = self.make_header(
@@ -356,7 +403,7 @@ class TpnrClient(TpnrParty):
         record = self.transactions.get(transaction_id)
         if record is not None and record.status is TxStatus.RESOLVING:
             self.cancel_retransmit(("resolve", transaction_id))
-            record.finish(TxStatus.FAILED, self.now, "resolve timed out (TTP unreachable?)")
+            self.finish_txn(record, TxStatus.FAILED, "resolve timed out (TTP unreachable?)")
 
     # ------------------------------------------------------------------
     # Inbound dispatch
@@ -380,7 +427,7 @@ class TpnrClient(TpnrParty):
         elif flag is Flag.DOWNLOAD_RESPONSE:
             self._handle_download_response(message, opened)
         elif flag is Flag.GRANT_ACK:
-            self.evidence_store.add(opened)  # provider-signed grant receipt
+            self.archive_evidence(opened)  # provider-signed grant receipt
         elif flag in (Flag.ABORT_ACCEPT, Flag.ABORT_REJECT, Flag.ABORT_ERROR):
             self._handle_abort_reply(message, opened)
         elif flag is Flag.RESOLVE_RESULT:
@@ -403,14 +450,14 @@ class TpnrClient(TpnrParty):
             # Bob acknowledged different bytes than Alice sent.
             self.reject("tpnr.upload.receipt", "NRR hash mismatch")
             return
-        self.evidence_store.add(opened)  # the NRR
+        self.archive_evidence(opened)  # the NRR
         if record.status in (TxStatus.PENDING, TxStatus.RESOLVING):
             if handle.timeout_event is not None:
                 handle.timeout_event.cancel()
             self.cancel_retransmit(("upload", transaction_id))
             self.cancel_retransmit(("resolve", transaction_id))
             handle.data = None  # no restarts needed anymore
-            record.finish(TxStatus.COMPLETED, self.now)
+            self.finish_txn(record, TxStatus.COMPLETED)
 
     def _handle_download_response(self, message: TpnrMessage, opened) -> None:
         transaction_id = message.header.transaction_id
@@ -420,13 +467,14 @@ class TpnrClient(TpnrParty):
             self.reject("tpnr.download.response", f"unknown transaction {transaction_id}")
             return
         self.cancel_retransmit(("download", transaction_id))
-        self.evidence_store.add(opened)  # Bob's NRR over what he served
+        self.archive_evidence(opened)  # Bob's NRR over what he served
         result.evidence_flags.append(message.header.flag.value)
         data = message.data or b""
         served_hash = digest("sha256", data)
         if served_hash != message.header.data_hash:
             # Transmission integrity failure — not (yet) a dispute.
             result.detail = "served data does not match its own signed hash"
+            self._journal_download_result(result)
             return
         result.data = data
         if served_hash == handle.data_hash:
@@ -438,11 +486,26 @@ class TpnrClient(TpnrParty):
             # upload.  Alice holds both NRRs -> arbitration-ready.
             result.tampering_detected = True
             result.detail = "stored data differs from uploaded data (evidence retained)"
+        # The verdict must be durable before Bob learns we have the
+        # bytes — the ack is what stops his serve retransmits.
+        self._journal_download_result(result)
         # Acknowledge receipt so Bob also ends with download evidence.
         ack_header = self.make_header(
             Flag.DOWNLOAD_ACK, handle.provider, transaction_id, served_hash
         )
         self.send(handle.provider, "tpnr.download.ack", self.make_message(ack_header))
+
+    def _journal_download_result(self, result: DownloadResult) -> None:
+        if self.journal is not None:
+            self.journal.log(
+                "client.download.result",
+                txn=result.transaction_id,
+                data=result.data,
+                verified=result.verified,
+                tampering=result.tampering_detected,
+                detail=result.detail,
+                flags=list(result.evidence_flags),
+            )
 
     def _handle_abort_reply(self, message: TpnrMessage, opened) -> None:
         transaction_id = message.header.transaction_id
@@ -451,7 +514,7 @@ class TpnrClient(TpnrParty):
         if record is None or handle is None:
             self.reject("tpnr.abort.reply", f"unknown transaction {transaction_id}")
             return
-        self.evidence_store.add(opened)
+        self.archive_evidence(opened)
         handle.abort_replied = True
         self.cancel_retransmit(("abort", transaction_id))
         if handle.abort_deadline_event is not None:
@@ -459,16 +522,18 @@ class TpnrClient(TpnrParty):
             handle.abort_deadline_event = None
         flag = message.header.flag
         if flag is Flag.ABORT_ACCEPT:
+            handle.aborting = False
             if record.status is TxStatus.PENDING:
-                record.finish(TxStatus.ABORTED, self.now, "abort accepted")
+                self.finish_txn(record, TxStatus.ABORTED, "abort accepted")
         elif flag is Flag.ABORT_REJECT:
+            handle.aborting = False
             record.detail = "abort rejected by provider"
         else:  # ABORT_ERROR: double-check parameters, regenerate, resubmit
             if handle.abort_retries_left > 0:
                 handle.abort_retries_left -= 1
                 self.abort(transaction_id)
             elif record.status is TxStatus.PENDING:
-                record.finish(TxStatus.FAILED, self.now, "abort failed after retry")
+                self.finish_txn(record, TxStatus.FAILED, "abort failed after retry")
             else:
                 record.detail = "abort failed after retry"
 
@@ -479,7 +544,7 @@ class TpnrClient(TpnrParty):
         if record is None:
             self.reject("tpnr.resolve.result", f"unknown transaction {transaction_id}")
             return
-        self.evidence_store.add(opened)
+        self.archive_evidence(opened)
         # Open the embedded counterparty reply — its evidence (the NRR)
         # was encrypted to us even though it travelled via the TTP.
         for relayed in message.embedded:
@@ -494,7 +559,7 @@ class TpnrClient(TpnrParty):
             except Exception as exc:
                 self.reject("tpnr.resolve.result", f"embedded evidence invalid: {exc}")
                 continue
-            self.evidence_store.add(embedded_evidence)
+            self.archive_evidence(embedded_evidence)
         action = message.annotation("action", ResolveAction.CONTINUE.value)
         self.resolve_outcomes[transaction_id] = action
         self.cancel_retransmit(("resolve", transaction_id))
@@ -502,14 +567,14 @@ class TpnrClient(TpnrParty):
             return
         handle = self.uploads.get(transaction_id)
         if action == ResolveAction.CONTINUE.value:
-            record.finish(TxStatus.RESOLVED, self.now, "resolved via TTP: provider continued")
+            self.finish_txn(record, TxStatus.RESOLVED, "resolved via TTP: provider continued")
         elif action == ResolveAction.RESTART.value:
             if handle is not None and handle.data is not None and handle.restarts_left > 0:
                 self._restart_upload(transaction_id)
             else:
-                record.finish(TxStatus.FAILED, self.now, "provider requested session restart")
+                self.finish_txn(record, TxStatus.FAILED, "provider requested session restart")
         else:
-            record.finish(TxStatus.FAILED, self.now, f"provider action: {action}")
+            self.finish_txn(record, TxStatus.FAILED, f"provider action: {action}")
 
     def _handle_resolve_failed(self, message: TpnrMessage, opened) -> None:
         """TTP statement: Bob never answered — signed evidence for Alice."""
@@ -518,8 +583,8 @@ class TpnrClient(TpnrParty):
         if record is None:
             self.reject("tpnr.resolve.failed", f"unknown transaction {transaction_id}")
             return
-        self.evidence_store.add(opened)  # the TTP's signed failure statement
+        self.archive_evidence(opened)  # the TTP's signed failure statement
         self.resolve_outcomes[transaction_id] = "failed: provider unresponsive"
         self.cancel_retransmit(("resolve", transaction_id))
         if record.status is TxStatus.RESOLVING:
-            record.finish(TxStatus.FAILED, self.now, "TTP: provider did not respond")
+            self.finish_txn(record, TxStatus.FAILED, "TTP: provider did not respond")

@@ -14,6 +14,17 @@ legitimate retransmission from a replay) and re-sent with capped
 exponential backoff until the role-level acknowledgement arrives or the
 retry budget runs out, at which point the role's own timeout escalates
 to Abort/Resolve instead of hanging.
+
+Durability (PR 2): a party may carry a
+:class:`~repro.durability.journal.PartyJournal`.  When it does, every
+evidence-bearing transition is logged **before** it is acted on —
+outbound headers before the send (:meth:`send`), inbound anti-replay
+consumption on acceptance (:meth:`validate_and_open`), evidence before
+archiving (:meth:`archive_evidence`), status changes at the moment they
+happen (:meth:`finish_txn`).  :meth:`begin_crash` with ``amnesia=True``
+models a real process death: every timer dies with the process, the
+journal's write buffer is lost, and volatile protocol state is wiped;
+:func:`repro.durability.recovery.recover` rebuilds it at restart.
 """
 
 from __future__ import annotations
@@ -73,6 +84,91 @@ class TpnrParty(Node):
         self.rejected_messages: list[tuple[str, str]] = []  # (kind, reason)
         self._retransmits: dict[Hashable, _RetransmitState] = {}
         self.retransmits_sent = 0
+        # Durability hooks (None/False until a journal is attached or a
+        # crash window hits this node).
+        self.journal = None  # PartyJournal | None
+        self.crashed = False
+        self.recoveries = 0
+        self._live_timers: list[ScheduledEvent] = []
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Adopt a :class:`~repro.durability.journal.PartyJournal`."""
+        self.journal = journal
+        journal.bind(self)
+
+    def set_timeout(self, delay: float, callback) -> ScheduledEvent:
+        """Track every timer so an amnesia crash can kill them all —
+        a timer is process state; it cannot survive a process death."""
+        event = super().set_timeout(delay, callback)
+        self._live_timers.append(event)
+        if len(self._live_timers) > 64:
+            self._live_timers = [
+                e for e in self._live_timers
+                if not e.cancelled and e.time >= self.now
+            ]
+        return event
+
+    def send(self, dst: str, kind: str, payload):
+        """Log-before-send: the header (whose sequence number and nonce
+        are already consumed) must be durable before the wire sees it,
+        or a crash+restart would reuse the sequence number."""
+        if self.journal is not None and isinstance(payload, TpnrMessage):
+            self.journal.log_send(payload.header)
+        return super().send(dst, kind, payload)
+
+    def archive_evidence(self, opened: OpenedEvidence) -> bool:
+        """Journal (if new) then archive one piece of evidence.
+
+        The WAL append precedes the store insert: once the in-memory
+        archive holds it, the protocol may act on it (issue receipts,
+        finish transactions), so it must already be durable.
+        """
+        if self.journal is not None and not self.evidence_store.holds(opened):
+            self.journal.log_evidence(opened)
+        return self.evidence_store.add(opened)
+
+    def journal_txn(self, record: TransactionRecord) -> None:
+        if self.journal is not None:
+            self.journal.log_txn(record)
+
+    def finish_txn(
+        self, record: TransactionRecord, status, detail: str = ""
+    ) -> None:
+        """Finish a transaction and journal the terminal status."""
+        record.finish(status, self.now, detail)
+        self.journal_txn(record)
+
+    def begin_crash(self, amnesia: bool = False) -> None:
+        """The process dies.  Always kill the retransmission loops (a
+        dead process sends nothing); with *amnesia* also kill every
+        timer, lose the journal's write buffer, and wipe volatile
+        protocol state.  Observability counters survive — they model
+        the test harness watching the node, not the node itself.
+        """
+        self.cancel_all_retransmits()
+        if not amnesia:
+            return
+        self.crashed = True
+        for event in self._live_timers:
+            event.cancel()
+        self._live_timers = []
+        if self.journal is not None:
+            self.journal.crash()
+        self.transactions = {}
+        self._peers = {}
+        duplicates = self.evidence_store.duplicates_suppressed
+        self.evidence_store = EvidenceStore(self.name)
+        self.evidence_store.duplicates_suppressed = duplicates
+        self._wipe_role_state()
+
+    def _wipe_role_state(self) -> None:
+        """Role-specific volatile state lost in an amnesia crash."""
+
+    def end_crash(self) -> None:
+        """The process is back up (recovery runs separately)."""
+        self.crashed = False
 
     # -- state helpers -------------------------------------------------------
 
@@ -153,6 +249,10 @@ class TpnrParty(Node):
             enforce_sequence=self.policy.enforce_sequence,
             enforce_nonce=self.policy.enforce_nonce,
         )
+        # The (seq, nonce) pair is consumed: journal it before anything
+        # acts on the message, or a crash+restart would accept a replay.
+        if self.journal is not None:
+            self.journal.log_recv(header)
         if not self.policy.verify_evidence:
             # Status-quo ablation: accept without evidence (still store
             # an unverified placeholder so flows continue).

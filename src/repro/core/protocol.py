@@ -50,6 +50,7 @@ class Deployment:
     ttp: TrustedThirdParty
     arbitrator: Arbitrator
     extra_clients: dict[str, TpnrClient] = field(default_factory=dict)
+    stable: object | None = None  # StableStore when built with durable=True
 
     def run(self, until: float | None = None) -> None:
         self.network.sim.run(until)
@@ -88,6 +89,8 @@ def make_deployment(
     ttp_name: str = "ttp",
     extra_client_names: tuple[str, ...] = (),
     topology=None,
+    durable: bool = False,
+    snapshot_interval: int = 48,
 ) -> Deployment:
     """Build a client + provider + TTP + arbitrator world.
 
@@ -96,6 +99,11 @@ def make_deployment(
     given, its compiled per-pair channels override *channel* for every
     host pair it covers (all role names must be hosts of the topology).
     All keys derive from *seed*; identical seeds give bit-identical runs.
+
+    With ``durable=True`` every party gets a
+    :class:`~repro.durability.journal.PartyJournal` over a shared
+    :class:`~repro.durability.wal.StableStore` (``Deployment.stable``),
+    making amnesia-crash windows recoverable.
     """
     rng = HmacDrbg(seed)
     sim = Simulator()
@@ -121,6 +129,25 @@ def make_deployment(
         network.add_node(node)
     if topology is not None:
         topology.install(network)
+    stable = None
+    if durable:
+        # Imported lazily: repro.durability imports core modules, so a
+        # module-level import here would cycle.
+        from ..durability.journal import PartyJournal
+        from ..durability.wal import StableStore
+
+        stable = StableStore("deployment")
+        roles = [(client, "client"), (provider, "provider"), (ttp, "ttp")]
+        roles += [(extra, "client") for extra in extra_clients.values()]
+        for party, role in roles:
+            party.attach_journal(
+                PartyJournal(
+                    stable,
+                    f"{party.name}.wal",
+                    role,
+                    snapshot_interval=snapshot_interval,
+                )
+            )
     return Deployment(
         sim=sim,
         network=network,
@@ -131,19 +158,24 @@ def make_deployment(
         ttp=ttp,
         arbitrator=Arbitrator(registry),
         extra_clients=extra_clients,
+        stable=stable,
     )
 
 
 def _summarize(dep: Deployment, transaction_id: str, started_at: float) -> SessionOutcome:
-    record = dep.client.transactions[transaction_id]
+    # The record is absent only when the client took an amnesia crash
+    # with no durable journal to recover from: report the loss rather
+    # than pretending the session never started.
+    record = dep.client.transactions.get(transaction_id)
     trace = dep.network.trace
     tpnr_sends = trace.sends("tpnr.")
     ttp_kinds = {"tpnr.resolve.request", "tpnr.resolve.query",
                  "tpnr.resolve.reply", "tpnr.resolve.result", "tpnr.resolve.failed"}
     return SessionOutcome(
         transaction_id=transaction_id,
-        upload_status=record.status,
-        upload_detail=record.detail,
+        upload_status=record.status if record else TxStatus.FAILED,
+        upload_detail=record.detail if record
+        else "transaction record lost (crash without durable journal)",
         download=dep.client.downloads.get(transaction_id),
         steps=len(tpnr_sends),
         bytes_on_wire=sum(e.size_bytes for e in tpnr_sends),

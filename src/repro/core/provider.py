@@ -90,6 +90,14 @@ class TpnrProvider(TpnrParty):
         if self.audit_log is not None:
             self.audit_log.append(operation, _CONTAINER, key, data, at_time=self.now)
 
+    def _wipe_role_state(self) -> None:
+        # withheld_receipts / duplicate_requests survive: observability.
+        # The audit log also survives — it models the storage layer's
+        # own persistent trail, not this process's memory.
+        self.store = BlobStore(f"{self.name}/store")
+        self.grants = {}
+        self._download_acked = set()
+
     # ------------------------------------------------------------------
     # Inbound dispatch
     # ------------------------------------------------------------------
@@ -112,7 +120,7 @@ class TpnrProvider(TpnrParty):
         elif flag is Flag.DOWNLOAD_REQUEST:
             self._handle_download_request(message, opened)
         elif flag is Flag.DOWNLOAD_ACK:
-            self.evidence_store.add(opened)
+            self.archive_evidence(opened)
             self._download_acked.add(
                 (message.header.transaction_id, message.header.sender_id)
             )
@@ -151,12 +159,12 @@ class TpnrProvider(TpnrParty):
             # transaction state; just repeat the NRR so the sender can
             # stop retransmitting.
             self.duplicate_requests += 1
-            self.evidence_store.add(opened)  # a fresh NRO is still evidence
+            self.archive_evidence(opened)  # a fresh NRO is still evidence
             if existing.status is TxStatus.ABORTED or self.behavior.silent_on_upload:
                 return
             self._send_upload_receipt(transaction_id)
             return
-        self.evidence_store.add(opened)  # Alice's NRO
+        self.archive_evidence(opened)  # Alice's NRO
         self.store.put(_CONTAINER, transaction_id, data, at_time=self.now)
         self._audit("put", transaction_id, data)
         record = TransactionRecord(
@@ -171,13 +179,25 @@ class TpnrProvider(TpnrParty):
         if self.behavior.tamper_mode is not TamperMode.NONE:
             apply_tamper(self.store, _CONTAINER, transaction_id,
                          self.behavior.tamper_mode, self.rng)
+        # Journal what the disk actually holds (post-tamper: the WAL
+        # witnesses the storage layer, it does not launder it honest)
+        # before the receipt can be issued.
+        self.journal_txn(record)
+        if self.journal is not None:
+            self.journal.log(
+                "provider.blob",
+                txn=transaction_id,
+                container=_CONTAINER,
+                key=transaction_id,
+                data=self.store.get(_CONTAINER, transaction_id).data,
+            )
         if self.behavior.silent_on_upload:
             # Bob pockets the NRO and never answers — the unfair move
             # the Resolve sub-protocol exists to punish.
             self.withheld_receipts.append(transaction_id)
             return
         self._send_upload_receipt(transaction_id)
-        record.finish(TxStatus.COMPLETED, self.now)
+        self.finish_txn(record, TxStatus.COMPLETED)
 
     def _send_upload_receipt(self, transaction_id: str) -> None:
         record = self.transactions[transaction_id]
@@ -199,8 +219,10 @@ class TpnrProvider(TpnrParty):
         if not grantee:
             self.reject("tpnr.grant", "grant missing grantee")
             return
-        self.evidence_store.add(opened)  # owner-signed grant (non-repudiable)
+        self.archive_evidence(opened)  # owner-signed grant (non-repudiable)
         self.grants.setdefault(transaction_id, set()).add(grantee)
+        if self.journal is not None:
+            self.journal.log("provider.grant", txn=transaction_id, grantee=grantee)
         ack_header = self.make_header(
             Flag.GRANT_ACK, record.peer, transaction_id, record.data_hash
         )
@@ -218,7 +240,7 @@ class TpnrProvider(TpnrParty):
             self.reject("tpnr.download.request",
                         f"{requester} is not authorized for {transaction_id}")
             return
-        self.evidence_store.add(opened)  # the requester's download NRO
+        self.archive_evidence(opened)  # the requester's download NRO
         if self.behavior.silent_on_download:
             self.withheld_receipts.append(transaction_id)
             return
@@ -269,23 +291,25 @@ class TpnrProvider(TpnrParty):
             )
             self.send(client, "tpnr.abort.reply", self.make_message(error_header))
             return
-        self.evidence_store.add(opened)  # the abort NRO
+        self.archive_evidence(opened)  # the abort NRO
         decision_flag = Flag.ABORT_REJECT if self.behavior.reject_abort else Flag.ABORT_ACCEPT
-        reply_header = self.make_header(decision_flag, client, transaction_id, record.data_hash)
-        self.send(client, "tpnr.abort.reply", self.make_message(reply_header))
         if decision_flag is Flag.ABORT_ACCEPT and record.status is TxStatus.PENDING:
-            record.finish(TxStatus.ABORTED, self.now, "abort accepted")
+            # Log-before-act: the abort must be durable before Alice
+            # can hold an ABORT_ACCEPT we might later deny.
+            self.finish_txn(record, TxStatus.ABORTED, "abort accepted")
         elif decision_flag is Flag.ABORT_ACCEPT and record.status is TxStatus.COMPLETED:
             # Upload already finished on Bob's side; record the abort
             # agreement without rewriting history.
             record.detail = "abort accepted post-completion"
+        reply_header = self.make_header(decision_flag, client, transaction_id, record.data_hash)
+        self.send(client, "tpnr.abort.reply", self.make_message(reply_header))
 
     # -- resolve (§4.3) -----------------------------------------------------------------
 
     def _handle_resolve_query(self, message: TpnrMessage, opened) -> None:
         """The TTP asks on Alice's behalf; answer through the TTP."""
         transaction_id = message.header.transaction_id
-        self.evidence_store.add(opened)  # TTP's signed query (with timestamp)
+        self.archive_evidence(opened)  # TTP's signed query (with timestamp)
         if self.behavior.silent_to_ttp:
             return
         client = message.annotation("requester")
@@ -314,4 +338,4 @@ class TpnrProvider(TpnrParty):
         )
         self.send(self.ttp_name, "tpnr.resolve.reply", reply)
         if record is not None and record.status is TxStatus.PENDING:
-            record.finish(TxStatus.RESOLVED, self.now, "resolved via TTP")
+            self.finish_txn(record, TxStatus.RESOLVED, "resolved via TTP")

@@ -130,6 +130,21 @@ class EvidenceStore:
         self._by_txn.setdefault(evidence.header.transaction_id, []).append(evidence)
         return True
 
+    def holds(self, evidence: OpenedEvidence) -> bool:
+        """True if this exact piece (same signer, same signed header
+        bytes) is already archived — i.e. :meth:`add` would dedup it."""
+        return (evidence.signer, evidence.header.to_signed_bytes()) in self._seen
+
+    def seen_keys(self) -> set[tuple[str, bytes]]:
+        """Identity keys of everything archived (durability audits
+        compare these against what the journal says must survive)."""
+        return set(self._seen)
+
+    def all_entries(self):
+        """Every archived piece, grouped by transaction."""
+        for entries in self._by_txn.values():
+            yield from entries
+
     def for_transaction(self, transaction_id: str) -> list[OpenedEvidence]:
         return list(self._by_txn.get(transaction_id, []))
 

@@ -39,6 +39,8 @@ class _PendingResolve:
     transaction_id: str
     requester: str
     counterparty: str
+    report: str
+    data_hash: bytes
     timeout_event: ScheduledEvent
 
 
@@ -58,6 +60,11 @@ class TrustedThirdParty(TpnrParty):
         self.failures_declared = 0
         self.bulk_rejections = 0
         self.duplicate_requests = 0  # retransmitted requests for in-flight resolves
+
+    def _wipe_role_state(self) -> None:
+        # The counters survive (observability); the pending-resolve
+        # table dies with the process and is re-opened from the WAL.
+        self._pending = {}
 
     # ------------------------------------------------------------------
     # Inbound dispatch
@@ -103,18 +110,43 @@ class TrustedThirdParty(TpnrParty):
             # query would double the TTP's workload and risk issuing
             # two verdicts for one session.
             self.duplicate_requests += 1
-            self.evidence_store.add(opened)
+            self.archive_evidence(opened)
             return
-        self.evidence_store.add(opened)  # requester's NRO + anomaly report
+        self.archive_evidence(opened)  # requester's NRO + anomaly report
         self.resolves_handled += 1
-        report = message.annotation("report")
-        requester = header.sender_id
+        self._open_resolve(
+            transaction_id,
+            requester=header.sender_id,
+            counterparty=counterparty,
+            report=message.annotation("report"),
+            data_hash=header.data_hash,
+        )
+
+    def _open_resolve(
+        self,
+        transaction_id: str,
+        requester: str,
+        counterparty: str,
+        report: str,
+        data_hash: bytes,
+    ) -> None:
+        """Open (or re-open, after a crash) one pending resolve: journal
+        it, query the counterparty, arm the retransmit loop + timeout."""
+        if self.journal is not None:
+            self.journal.log(
+                "ttp.pending",
+                txn=transaction_id,
+                requester=requester,
+                counterparty=counterparty,
+                report=report,
+                data_hash=data_hash,
+            )
 
         def rebuild() -> TpnrMessage:
             # Time-stamped query to the counterparty (§4.3) — fresh
             # header and timestamp on every (re)transmission.
             query_header = self.make_header(
-                Flag.RESOLVE_QUERY, counterparty, transaction_id, header.data_hash
+                Flag.RESOLVE_QUERY, counterparty, transaction_id, data_hash
             )
             return self.make_message(
                 query_header,
@@ -133,6 +165,8 @@ class TrustedThirdParty(TpnrParty):
             transaction_id=transaction_id,
             requester=requester,
             counterparty=counterparty,
+            report=report,
+            data_hash=data_hash,
             timeout_event=timeout,
         )
         self.send(counterparty, "tpnr.resolve.query", rebuild())
@@ -142,6 +176,26 @@ class TrustedThirdParty(TpnrParty):
             "tpnr.resolve.query",
             rebuild,
             lambda: transaction_id in self._pending,
+        )
+
+    def reopen_resolve(
+        self,
+        transaction_id: str,
+        requester: str,
+        counterparty: str,
+        report: str,
+        data_hash: bytes,
+    ) -> None:
+        """Crash recovery found this resolve pending in the journal:
+        pick it up again with a fresh query and a fresh timeout."""
+        if transaction_id in self._pending:
+            return
+        self._open_resolve(
+            transaction_id,
+            requester=requester,
+            counterparty=counterparty,
+            report=report,
+            data_hash=data_hash,
         )
 
     # -- counterparty side ---------------------------------------------------------
@@ -176,6 +230,8 @@ class TrustedThirdParty(TpnrParty):
             return
         pending.timeout_event.cancel()
         self.cancel_retransmit(("query", header.transaction_id))
+        if self.journal is not None:
+            self.journal.log("ttp.done", txn=header.transaction_id, outcome="relayed")
         result_header = self.make_header(
             Flag.RESOLVE_RESULT, pending.requester, header.transaction_id, header.data_hash
         )
@@ -206,6 +262,8 @@ class TrustedThirdParty(TpnrParty):
             return
         self.cancel_retransmit(("query", transaction_id))
         self.failures_declared += 1
+        if self.journal is not None:
+            self.journal.log("ttp.done", txn=transaction_id, outcome="failure declared")
         failed_header = self.make_header(
             Flag.RESOLVE_FAILED, pending.requester, transaction_id, b"\x00" * 32
         )

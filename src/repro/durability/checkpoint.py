@@ -1,0 +1,435 @@
+"""Snapshot + replay representation of one TPNR party's durable state.
+
+:class:`PartyState` is the hinge of the crash-recovery design: it is at
+once the *snapshot format* (a periodic ``{"type": "snapshot"}`` WAL
+record carries :meth:`PartyState.to_dict`), the *replay accumulator*
+(:meth:`PartyState.apply_record` folds every later WAL record in), and
+the *restore source* (:func:`apply_state` rebuilds a live
+:class:`~repro.core.party.TpnrParty` from it).
+
+Record application is **idempotent** — sequence counters are folded
+with ``max``, nonces and evidence with set union, statuses by
+overwrite — so a record that is both reflected in a snapshot and
+replayed after it does no harm.  That property is what lets the
+journal write snapshots at any record boundary without coordination.
+
+What is deliberately *not* captured: armed timers and retransmission
+loops (a restarted process has none — :mod:`repro.durability.recovery`
+re-arms or escalates them), the DRBG position (nonce uniqueness is a
+harness property), and observability counters (they model the test
+harness, not the process, and survive crashes on the live object).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.client import DownloadResult, TpnrClient, UploadHandle
+from ..core.evidence import OpenedEvidence
+from ..core.messages import Flag, Header
+from ..core.transaction import (
+    EvidenceStore,
+    PeerState,
+    TransactionRecord,
+    TxStatus,
+)
+from ..storage.blobstore import BlobStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.party import TpnrParty
+
+__all__ = [
+    "PartyState",
+    "capture_state",
+    "apply_state",
+    "rebuild",
+    "header_to_dict",
+    "header_from_dict",
+    "evidence_to_dict",
+    "evidence_from_dict",
+]
+
+_BLOB_CONTAINER = "tpnr-data"
+
+
+# ---------------------------------------------------------------------------
+# Field-level codecs
+# ---------------------------------------------------------------------------
+
+
+def header_to_dict(header: Header) -> dict:
+    return {
+        "flag": header.flag.value,
+        "sender": header.sender_id,
+        "recipient": header.recipient_id,
+        "ttp": header.ttp_id,
+        "txn": header.transaction_id,
+        "seq": header.sequence_number,
+        "nonce": header.nonce,
+        "time_limit": header.time_limit,
+        "data_hash": header.data_hash,
+    }
+
+
+def header_from_dict(d: dict) -> Header:
+    return Header(
+        flag=Flag(d["flag"]),
+        sender_id=d["sender"],
+        recipient_id=d["recipient"],
+        ttp_id=d["ttp"],
+        transaction_id=d["txn"],
+        sequence_number=d["seq"],
+        nonce=d["nonce"],
+        time_limit=d["time_limit"],
+        data_hash=d["data_hash"],
+    )
+
+
+def evidence_to_dict(evidence: OpenedEvidence) -> dict:
+    return {
+        "signer": evidence.signer,
+        "header": header_to_dict(evidence.header),
+        "sig_data": evidence.signature_over_data_hash,
+        "sig_header": evidence.signature_over_header,
+    }
+
+
+def evidence_from_dict(d: dict) -> OpenedEvidence:
+    return OpenedEvidence(
+        header=header_from_dict(d["header"]),
+        signature_over_data_hash=d["sig_data"],
+        signature_over_header=d["sig_header"],
+        signer=d["signer"],
+    )
+
+
+def txn_to_dict(record: TransactionRecord) -> dict:
+    return {
+        "transaction_id": record.transaction_id,
+        "role": record.role,
+        "peer": record.peer,
+        "status": record.status.value,
+        "data_hash": record.data_hash,
+        "data_size": record.data_size,
+        "started_at": record.started_at,
+        "finished_at": record.finished_at,
+        "detail": record.detail,
+    }
+
+
+def txn_from_dict(d: dict) -> TransactionRecord:
+    return TransactionRecord(
+        transaction_id=d["transaction_id"],
+        role=d["role"],
+        peer=d["peer"],
+        status=TxStatus(d["status"]),
+        data_hash=d["data_hash"],
+        data_size=d["data_size"],
+        started_at=d["started_at"],
+        finished_at=d["finished_at"],
+        detail=d["detail"],
+    )
+
+
+def _evidence_key(ev_dict: dict) -> tuple[str, bytes]:
+    """Same identity the live :class:`EvidenceStore` dedups on."""
+    return (ev_dict["signer"], header_from_dict(ev_dict["header"]).to_signed_bytes())
+
+
+# ---------------------------------------------------------------------------
+# The state object
+# ---------------------------------------------------------------------------
+
+
+class PartyState:
+    """Snapshot/replay accumulator for one party's protocol state."""
+
+    def __init__(self, role: str) -> None:
+        self.role = role
+        self.transactions: dict[str, dict] = {}
+        self.peers: dict[str, dict] = {}  # name -> {"send", "recv", "nonces": set}
+        self.evidence: list[dict] = []
+        self._evidence_keys: set[tuple[str, bytes]] = set()
+        self.role_state: dict[str, Any] = {}
+
+    # -- peers ---------------------------------------------------------------
+
+    def _peer(self, name: str) -> dict:
+        return self.peers.setdefault(name, {"send": 0, "recv": -1, "nonces": set()})
+
+    def _add_evidence(self, ev_dict: dict) -> None:
+        key = _evidence_key(ev_dict)
+        if key not in self._evidence_keys:
+            self._evidence_keys.add(key)
+            self.evidence.append(ev_dict)
+
+    def evidence_keys(self) -> set[tuple[str, bytes]]:
+        return set(self._evidence_keys)
+
+    # -- replay --------------------------------------------------------------
+
+    def apply_record(self, record: dict) -> None:
+        """Fold one WAL record in; unknown types are ignored (a newer
+        writer must not make an older reader's recovery explode)."""
+        rtype = record.get("type")
+        if rtype == "send":
+            peer = self._peer(record["peer"])
+            peer["send"] = max(peer["send"], record["seq"] + 1)
+        elif rtype == "recv":
+            peer = self._peer(record["peer"])
+            peer["recv"] = max(peer["recv"], record["seq"])
+            peer["nonces"].add(record["nonce"])
+        elif rtype == "evidence":
+            self._add_evidence(
+                {
+                    "signer": record["signer"],
+                    "header": record["header"],
+                    "sig_data": record["sig_data"],
+                    "sig_header": record["sig_header"],
+                }
+            )
+        elif rtype == "txn":
+            fields = dict(record)
+            fields.pop("type")
+            self.transactions[record["transaction_id"]] = fields
+        elif rtype == "client.upload":
+            uploads = self.role_state.setdefault("uploads", {})
+            uploads[record["txn"]] = {
+                "provider": record["provider"],
+                "data": record["data"],
+                "data_hash": record["data_hash"],
+                "data_size": record["data_size"],
+                "auto_resolve": record["auto_resolve"],
+                "aborting": False,
+            }
+        elif rtype == "client.abort":
+            handle = self.role_state.setdefault("uploads", {}).get(record["txn"])
+            if handle is not None:
+                handle["aborting"] = True
+        elif rtype == "client.download":
+            downloads = self.role_state.setdefault("downloads", {})
+            downloads[record["txn"]] = {
+                "data": None,
+                "verified": False,
+                "tampering": False,
+                "detail": "",
+                "flags": [],
+            }
+        elif rtype == "client.download.result":
+            downloads = self.role_state.setdefault("downloads", {})
+            downloads[record["txn"]] = {
+                "data": record["data"],
+                "verified": record["verified"],
+                "tampering": record["tampering"],
+                "detail": record["detail"],
+                "flags": list(record["flags"]),
+            }
+        elif rtype == "provider.blob":
+            blobs = self.role_state.setdefault("blobs", {})
+            blobs[record["txn"]] = {
+                "container": record["container"],
+                "key": record["key"],
+                "data": record["data"],
+            }
+        elif rtype == "provider.grant":
+            grants = self.role_state.setdefault("grants", {})
+            grantees = grants.setdefault(record["txn"], [])
+            if record["grantee"] not in grantees:
+                grantees.append(record["grantee"])
+        elif rtype == "ttp.pending":
+            pending = self.role_state.setdefault("pending", {})
+            pending[record["txn"]] = {
+                "requester": record["requester"],
+                "counterparty": record["counterparty"],
+                "report": record["report"],
+                "data_hash": record["data_hash"],
+            }
+        elif rtype == "ttp.done":
+            self.role_state.setdefault("pending", {}).pop(record["txn"], None)
+        # else: forward-compatible no-op
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "role": self.role,
+            "transactions": {k: dict(v) for k, v in sorted(self.transactions.items())},
+            "peers": {
+                name: {
+                    "send": p["send"],
+                    "recv": p["recv"],
+                    "nonces": sorted(p["nonces"]),
+                }
+                for name, p in sorted(self.peers.items())
+            },
+            "evidence": [dict(e) for e in self.evidence],
+            "role_state": self.role_state,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PartyState":
+        state = cls(d["role"])
+        state.transactions = {k: dict(v) for k, v in d["transactions"].items()}
+        state.peers = {
+            name: {"send": p["send"], "recv": p["recv"], "nonces": set(p["nonces"])}
+            for name, p in d["peers"].items()
+        }
+        for ev in d["evidence"]:
+            state._add_evidence(dict(ev))
+        state.role_state = {k: v for k, v in d["role_state"].items()}
+        return state
+
+
+def rebuild(records: list[dict], role: str) -> tuple[PartyState, int]:
+    """Fold a WAL record sequence into the state it describes.
+
+    Returns ``(state, snapshots_seen)``.  Replay restarts from the most
+    recent snapshot and folds every record after it.
+    """
+    state = PartyState(role)
+    snapshots = 0
+    for record in records:
+        if record.get("type") == "snapshot":
+            state = PartyState.from_dict(record["state"])
+            state.role = role
+            snapshots += 1
+        else:
+            state.apply_record(record)
+    return state, snapshots
+
+
+# ---------------------------------------------------------------------------
+# Live party <-> PartyState
+# ---------------------------------------------------------------------------
+
+
+def capture_state(party: "TpnrParty", role: str) -> PartyState:
+    """Photograph a live party's durable-relevant state."""
+    state = PartyState(role)
+    for txn, record in party.transactions.items():
+        state.transactions[txn] = txn_to_dict(record)
+    for name, peer in party._peers.items():
+        state.peers[name] = {
+            "send": peer.next_send_seq,
+            "recv": peer.highest_recv_seq,
+            "nonces": set(peer.seen_nonces),
+        }
+    for evidence in party.evidence_store.all_entries():
+        state._add_evidence(evidence_to_dict(evidence))
+    if role == "client":
+        uploads = {}
+        for txn, handle in party.uploads.items():
+            uploads[txn] = {
+                "provider": handle.provider,
+                "data": handle.data,
+                "data_hash": handle.data_hash,
+                "data_size": handle.data_size,
+                "auto_resolve": handle.auto_resolve,
+                "aborting": handle.aborting,
+            }
+        downloads = {}
+        for txn, result in party.downloads.items():
+            downloads[txn] = {
+                "data": result.data,
+                "verified": result.verified,
+                "tampering": result.tampering_detected,
+                "detail": result.detail,
+                "flags": list(result.evidence_flags),
+            }
+        state.role_state = {"uploads": uploads, "downloads": downloads}
+    elif role == "provider":
+        blobs = {}
+        for obj in party.store.objects():
+            blobs[obj.key] = {
+                "container": obj.container,
+                "key": obj.key,
+                "data": obj.data,
+            }
+        state.role_state = {
+            "blobs": blobs,
+            "grants": {txn: sorted(names) for txn, names in party.grants.items()},
+            "acked": sorted(list(pair) for pair in party._download_acked),
+        }
+    elif role == "ttp":
+        pending = {}
+        for txn, entry in party._pending.items():
+            pending[txn] = {
+                "requester": entry.requester,
+                "counterparty": entry.counterparty,
+                "report": entry.report,
+                "data_hash": entry.data_hash,
+            }
+        state.role_state = {"pending": pending}
+    return state
+
+
+def apply_state(party: "TpnrParty", state: PartyState) -> None:
+    """Overwrite a (wiped) party's protocol state from *state*.
+
+    Timers and retransmission loops are NOT re-armed here — that is
+    :func:`repro.durability.recovery.recover`'s resume step, which
+    needs to make escalation decisions this layer must not.
+    """
+    party.transactions = {
+        txn: txn_from_dict(fields) for txn, fields in state.transactions.items()
+    }
+    party._peers = {
+        name: PeerState(
+            next_send_seq=p["send"],
+            highest_recv_seq=p["recv"],
+            seen_nonces=set(p["nonces"]),
+        )
+        for name, p in state.peers.items()
+    }
+    duplicates = party.evidence_store.duplicates_suppressed
+    store = EvidenceStore(party.name)
+    store.duplicates_suppressed = duplicates
+    for ev_dict in state.evidence:
+        store.add(evidence_from_dict(ev_dict))
+    party.evidence_store = store
+    if state.role == "client":
+        _apply_client(party, state)
+    elif state.role == "provider":
+        _apply_provider(party, state)
+    elif state.role == "ttp":
+        # Pending resolves are re-opened (fresh query + timers) by the
+        # recovery driver; here the slate is just cleaned.
+        party._pending = {}
+
+
+def _apply_client(party: "TpnrClient", state: PartyState) -> None:
+    party.uploads = {}
+    for txn, h in state.role_state.get("uploads", {}).items():
+        party.uploads[txn] = UploadHandle(
+            transaction_id=txn,
+            provider=h["provider"],
+            data_hash=h["data_hash"],
+            data_size=h["data_size"],
+            auto_resolve=h["auto_resolve"],
+            data=h["data"],
+            aborting=h["aborting"],
+        )
+    party.downloads = {}
+    for txn, d in state.role_state.get("downloads", {}).items():
+        party.downloads[txn] = DownloadResult(
+            transaction_id=txn,
+            data=d["data"],
+            verified=d["verified"],
+            tampering_detected=d["tampering"],
+            detail=d["detail"],
+            evidence_flags=list(d["flags"]),
+        )
+
+
+def _apply_provider(party: "TpnrParty", state: PartyState) -> None:
+    party.store = BlobStore(f"{party.name}/store")
+    for blob in state.role_state.get("blobs", {}).values():
+        party.store.put(
+            blob["container"], blob["key"], blob["data"], at_time=party.now
+        )
+    party.grants = {
+        txn: set(names) for txn, names in state.role_state.get("grants", {}).items()
+    }
+    party._download_acked = {
+        tuple(pair) for pair in state.role_state.get("acked", [])
+    }

@@ -51,6 +51,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "generate_plans",
+    "generate_amnesia_plans",
     "CampaignOutcome",
     "CampaignReport",
     "CampaignRunner",
@@ -117,18 +118,28 @@ class FaultRule:
 class CrashWindow:
     """Party *node* is down over [start, start+duration) seconds,
     relative to the injector's epoch (the moment the plan is armed).
-    While down, every message to or from the node is lost; the node
-    "restarts" with durable state intact when the window closes."""
+    While down, every message to or from the node is lost, and the
+    node's retransmission loops die at window entry — a dead process
+    sends nothing, so timers from its pre-crash life must not fire
+    mid-window and masquerade as recovery.
+
+    With ``amnesia=False`` (PR 1 semantics) the node restarts with its
+    in-memory state magically intact.  With ``amnesia=True`` the crash
+    is real: volatile state and every timer are wiped at window entry
+    (the journal's write buffer is lost), and
+    :func:`repro.durability.recovery.recover` runs at window exit."""
 
     node: str
     start: float
     duration: float
+    amnesia: bool = False
 
     def covers(self, t: float) -> bool:
         return self.start <= t < self.start + self.duration
 
     def describe(self) -> str:
-        return f"crash({self.node} @{self.start:g}s +{self.duration:g}s)"
+        kind = "amnesia-crash" if self.amnesia else "crash"
+        return f"{kind}({self.node} @{self.start:g}s +{self.duration:g}s)"
 
 
 @dataclass(frozen=True)
@@ -158,11 +169,84 @@ class FaultInjector(Adversary):
         self.epoch = 0.0
         self._match_counts = [0] * len(plan.rules)
         self.decisions: list[tuple[int, str, str]] = []  # (msg_id, action, note)
+        self._window_events: list = []  # ScheduledEvents for crash begin/end
+        self.crash_begins = 0
+        self.amnesia_crashes = 0
+        self.amnesia_nodes: set[str] = set()
+        self.recoveries = 0
+        self.recovery_reports: list = []  # RecoveryReport per amnesia restart
 
     def reset(self, epoch: float) -> None:
-        """Re-arm the plan (fresh match counters) at a new time origin."""
+        """Re-arm the plan (fresh match counters) at a new time origin.
+
+        Each crash window also gets explicit begin/end events: entry
+        kills the node's retransmission loops (and, for amnesia
+        windows, its volatile state); exit restarts the process —
+        running crash recovery when the window is amnesiac.  Requires
+        the injector to be installed on the network first.
+        """
         self.epoch = epoch
         self._match_counts = [0] * len(self.plan.rules)
+        for event in self._window_events:
+            event.cancel()
+        self._window_events = []
+        sim = self.network.sim
+        for window in self.plan.crashes:
+            self._window_events.append(
+                sim.schedule_at(
+                    epoch + window.start,
+                    lambda w=window: self._crash_begin(w),
+                )
+            )
+            self._window_events.append(
+                sim.schedule_at(
+                    epoch + window.start + window.duration,
+                    lambda w=window: self._crash_end(w),
+                )
+            )
+
+    def _crashed_node(self, window: CrashWindow):
+        try:
+            return self.network.node(window.node)
+        except Exception:
+            return None
+
+    def _mark_window(self, window: CrashWindow, action: str) -> None:
+        from .trace import TraceEvent  # local: trace is a leaf module
+
+        note = f"plan={self.plan.name} {window.describe()}"
+        self.network.trace.record(
+            TraceEvent(
+                self.network.sim.now, f"fault.{action}",
+                window.node, window.node, "process", 0, 0, note,
+            )
+        )
+        self.decisions.append((0, action, note))
+
+    def _crash_begin(self, window: CrashWindow) -> None:
+        node = self._crashed_node(window)
+        if node is None:
+            return
+        self.crash_begins += 1
+        self._mark_window(window, "crash-begin")
+        if hasattr(node, "cancel_all_retransmits"):
+            node.cancel_all_retransmits()
+        if window.amnesia and hasattr(node, "begin_crash"):
+            self.amnesia_crashes += 1
+            self.amnesia_nodes.add(window.node)
+            node.begin_crash(amnesia=True)
+
+    def _crash_end(self, window: CrashWindow) -> None:
+        node = self._crashed_node(window)
+        if node is None:
+            return
+        self._mark_window(window, "crash-end")
+        if window.amnesia and hasattr(node, "begin_crash"):
+            from ..durability.recovery import recover  # lazy: net <-> durability
+
+            report = recover(node)
+            self.recoveries += 1
+            self.recovery_reports.append(report)
 
     def _record(self, envelope: "Envelope", action: FaultAction | str, note: str) -> None:
         label = action.value if isinstance(action, FaultAction) else action
@@ -263,6 +347,60 @@ def generate_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
     return plans
 
 
+def generate_amnesia_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
+    """Deterministically generate *n* amnesia-crash plans from *seed*.
+
+    Every plan crashes one party with ``amnesia=True`` (volatile state
+    wiped, recovery at restart).  About one in five adds a *second*
+    crash shortly after the first recovery (double-crash), and about
+    one in four pairs the crash with an ordinary message fault so
+    recovery runs under degraded networking too.  Same seed, same *n*
+    -> the identical plan list, forever.
+    """
+    rng = HmacDrbg(seed, personalization=b"amnesia-plans")
+    parties = ("alice", "bob", "ttp")
+    plans: list[FaultPlan] = []
+    for i in range(n):
+        node = rng.choice(parties)
+        # Same timing logic as generate_plans: early windows, because
+        # an undisturbed session is over in milliseconds; long windows
+        # (past the response time-out) force the survivor to escalate.
+        start = rng.choice((0.0, 0.0, 0.1, 0.7))
+        duration = round(0.5 + rng.random() * 5.0, 3)
+        windows = [CrashWindow(node, start, duration, amnesia=True)]
+        tag = node
+        if rng.random() < 0.2:
+            gap = round(0.2 + rng.random() * 1.0, 3)
+            second = round(0.3 + rng.random() * 2.0, 3)
+            windows.append(
+                CrashWindow(
+                    node,
+                    round(start + duration + gap, 3),
+                    second,
+                    amnesia=True,
+                )
+            )
+            tag += "-x2"
+        rules: tuple[FaultRule, ...] = ()
+        if rng.random() < 0.25:
+            action = rng.choice(
+                (FaultAction.DROP, FaultAction.DUPLICATE, FaultAction.DELAY)
+            )
+            kind = rng.choice(TPNR_KINDS[:5])
+            rules = (
+                FaultRule(action=action, kind=kind, nth=rng.randint(1, 2)),
+            )
+            tag += f"+{action.value}"
+        plans.append(
+            FaultPlan(
+                name=f"c{i:03d}-amnesia-{tag}",
+                rules=rules,
+                crashes=tuple(windows),
+            )
+        )
+    return plans
+
+
 # ---------------------------------------------------------------------------
 # Campaign running
 # ---------------------------------------------------------------------------
@@ -284,6 +422,10 @@ class CampaignOutcome:
     retransmits: int
     duplicates_suppressed: int
     download_ok: bool
+    crashes: int = 0
+    recoveries: int = 0
+    resumed: int = 0  # in-flight work re-sent by recovery
+    escalated: int = 0  # in-flight work escalated to Resolve/FAILED
     violations: tuple[str, ...] = ()
 
     @property
@@ -303,6 +445,8 @@ class CampaignOutcome:
             self.retransmits,
             self.duplicates_suppressed,
             "yes" if self.download_ok else "no",
+            self.crashes,
+            self.recoveries,
             "; ".join(self.violations) if self.violations else "-",
         )
 
@@ -317,7 +461,8 @@ class CampaignReport:
 
     HEADERS = (
         "#", "plan", "faults", "status", "detail", "ttp",
-        "steps", "fired", "retx", "dup-supp", "dl-ok", "violations",
+        "steps", "fired", "retx", "dup-supp", "dl-ok",
+        "crash", "recov", "violations",
     )
 
     @property
@@ -376,12 +521,14 @@ class CampaignRunner:
         seed: bytes | str = b"fault-campaign",
         scenario: str = "session",
         payload_range: tuple[int, int] = (64, 512),
+        durable: bool = False,
     ) -> None:
         if scenario not in ("session", "upload", "abort"):
             raise ValueError(f"unknown scenario {scenario!r}")
         self.seed = seed if isinstance(seed, str) else seed.decode("latin-1")
         self.scenario = scenario
         self.payload_range = payload_range
+        self.durable = durable
         self._rng = HmacDrbg(seed, personalization=b"fault-campaign")
 
     def run(self, plans: list[FaultPlan]) -> CampaignReport:
@@ -392,7 +539,9 @@ class CampaignRunner:
             run_upload,
         )
 
-        dep = make_deployment(seed=self.seed.encode("latin-1") + b"/campaign")
+        dep = make_deployment(
+            seed=self.seed.encode("latin-1") + b"/campaign", durable=self.durable
+        )
         report = CampaignReport(seed=self.seed, scenario=self.scenario)
         lo, hi = self.payload_range
         for index, plan in enumerate(plans):
@@ -410,7 +559,7 @@ class CampaignRunner:
             dep.network.remove_adversary()
             after = self._counters(dep)
             txn = outcome.transaction_id
-            violations = self._audit(dep, txn)
+            violations = self._audit(dep, txn, injector)
             download = outcome.download
             report.outcomes.append(
                 CampaignOutcome(
@@ -424,6 +573,10 @@ class CampaignRunner:
                     retransmits=after[0] - before[0],
                     duplicates_suppressed=after[1] - before[1],
                     download_ok=bool(download and download.verified),
+                    crashes=injector.crash_begins,
+                    recoveries=injector.recoveries,
+                    resumed=sum(r.resumed for r in injector.recovery_reports),
+                    escalated=sum(r.escalated for r in injector.recovery_reports),
                     violations=tuple(violations),
                 )
             )
@@ -441,11 +594,14 @@ class CampaignRunner:
 
     # -- invariants ----------------------------------------------------------
 
-    def _audit(self, dep: "Deployment", txn: str) -> list[str]:
+    def _audit(
+        self, dep: "Deployment", txn: str, injector: FaultInjector
+    ) -> list[str]:
         violations: list[str] = []
         violations.extend(self._check_terminal(dep, txn))
         violations.extend(self._check_evidence(dep, txn))
         violations.extend(self._check_trace_accounting(dep))
+        violations.extend(self._check_durability(dep, injector.amnesia_nodes))
         return violations
 
     @staticmethod
@@ -497,4 +653,30 @@ class CampaignRunner:
             )
             if not accounted:
                 out.append(f"message {send.msg_id} ({send.kind}) has no recorded fate")
+        return out
+
+    @staticmethod
+    def _check_durability(dep: "Deployment", amnesia_nodes: set[str]) -> list[str]:
+        """No durably-acknowledged evidence record may ever be missing
+        from the live store — not after any number of crashes and
+        recoveries.  ``acked_evidence`` is everything the journal has
+        fsynced; on an honest disk it is exactly what recovery can (and
+        therefore must) restore.  A party hit by an amnesia crash with
+        no journal at all lost its state irrecoverably — also flagged."""
+        out = []
+        for party in (dep.client, dep.provider, dep.ttp):
+            journal = party.journal
+            if journal is None:
+                if party.name in amnesia_nodes:
+                    out.append(
+                        f"{party.name} took an amnesia crash with no durable "
+                        f"journal: state irrecoverably lost"
+                    )
+                continue
+            lost = journal.acked_evidence - party.evidence_store.seen_keys()
+            if lost:
+                out.append(
+                    f"{party.name} lost {len(lost)} durably-acknowledged "
+                    f"evidence record(s)"
+                )
         return out

@@ -153,6 +153,18 @@ class Network:
         node = self._nodes.get(envelope.dst)
         if node is None:  # node removed mid-flight
             return
+        if getattr(node, "crashed", False):
+            # An amnesia-crashed process cannot accept deliveries; the
+            # bytes hit a dead socket.  Traced as a drop so the
+            # campaign's per-message accounting still balances.
+            self.trace.record(
+                TraceEvent(
+                    self.sim.now, "drop", envelope.src, envelope.dst,
+                    envelope.kind, envelope.size_bytes, envelope.msg_id,
+                    note="destination down (crashed)",
+                )
+            )
+            return
         action = "corrupt" if envelope.corrupted else "deliver"
         self.trace.record(
             TraceEvent(

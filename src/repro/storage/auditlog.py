@@ -38,7 +38,17 @@ _CHECKPOINT_DOMAIN = b"repro-audit-checkpoint|"
 
 @dataclass(frozen=True)
 class AuditEntry:
-    """One logged storage operation."""
+    """One logged storage operation.
+
+    ``version`` selects the canonical encoding.  v1 serialized the
+    timestamp as ``repr(float)`` — a representation-dependent encoding
+    (``repr(0.1)`` vs ``repr(0.1000000000000000055511151231257827)``
+    can differ across producers for the same stored value, and any
+    re-serialization that perturbs the float breaks the chain).  v2
+    encodes fixed-width integer microseconds instead, under a new
+    domain tag so the two encodings can never collide.  Old v1 chains
+    keep verifying: verification always uses the entry's own version.
+    """
 
     index: int
     at_time: float
@@ -47,19 +57,51 @@ class AuditEntry:
     key: str
     object_digest: bytes  # digest of the object bytes after the op
     chain_hash: bytes = b""
+    version: int = 2
 
     def canonical_bytes(self) -> bytes:
+        if self.version == 1:
+            time_field = repr(self.at_time)
+        elif self.version == 2:
+            time_field = f"{int(round(self.at_time * 1e6)):020d}"
+        else:
+            raise IntegrityError(f"unknown audit entry version {self.version}")
         return "|".join(
             [
-                "audit-entry-v1",
+                f"audit-entry-v{self.version}",
                 str(self.index),
-                repr(self.at_time),
+                time_field,
                 self.operation,
                 self.container,
                 self.key,
                 self.object_digest.hex(),
             ]
         ).encode()
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "at_time": self.at_time,
+            "operation": self.operation,
+            "container": self.container,
+            "key": self.key,
+            "object_digest": self.object_digest.hex(),
+            "chain_hash": self.chain_hash.hex(),
+            "version": self.version,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "AuditEntry":
+        return AuditEntry(
+            index=int(payload["index"]),
+            at_time=float(payload["at_time"]),
+            operation=payload["operation"],
+            container=payload["container"],
+            key=payload["key"],
+            object_digest=bytes.fromhex(payload["object_digest"]),
+            chain_hash=bytes.fromhex(payload["chain_hash"]),
+            version=int(payload.get("version", 1)),
+        )
 
 
 @dataclass(frozen=True)
@@ -72,6 +114,21 @@ class Checkpoint:
 
     def signed_bytes(self) -> bytes:
         return _CHECKPOINT_DOMAIN + str(self.upto_index).encode() + b"|" + self.chain_hash
+
+    def to_dict(self) -> dict:
+        return {
+            "upto_index": self.upto_index,
+            "chain_hash": self.chain_hash.hex(),
+            "signature": self.signature.hex(),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Checkpoint":
+        return Checkpoint(
+            upto_index=int(payload["upto_index"]),
+            chain_hash=bytes.fromhex(payload["chain_hash"]),
+            signature=bytes.fromhex(payload["signature"]),
+        )
 
 
 class AuditLog:
@@ -127,6 +184,43 @@ class AuditLog:
         )
         self.checkpoints.append(checkpoint)
         return checkpoint
+
+    # -- export / import ---------------------------------------------------
+
+    def dump(self) -> dict:
+        """Portable form of the whole log, suitable for handing to an
+        auditor (JSON-safe: hashes and signatures as hex)."""
+        return {
+            "operator": self.operator.name,
+            "checkpoint_interval": self.checkpoint_interval,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "checkpoints": [cp.to_dict() for cp in self.checkpoints],
+        }
+
+    @staticmethod
+    def load(
+        payload: dict, registry: KeyRegistry
+    ) -> tuple[list[AuditEntry], list[Checkpoint], int]:
+        """Parse a :meth:`dump` payload and verify it end to end.
+
+        Returns ``(entries, checkpoints, covered)`` where *covered* is
+        the highest entry index a valid checkpoint signs (-1 if none).
+
+        Truncation rule: a log whose retained checkpoints all still
+        refer to existing entries is **accepted** — cutting exactly at
+        a checkpoint boundary (later checkpoints removed too) is
+        indistinguishable from an honestly shorter log, and the lower
+        *covered* index is the auditor's tell (compare it against the
+        latest checkpoint obtained out of band).  Any cut that keeps a
+        checkpoint referring past the new end — e.g. truncating between
+        checkpoints without also discarding the later ones — **raises**
+        :class:`IntegrityError`; likewise any edit, reorder, or
+        insertion anywhere in the chain.
+        """
+        entries = [AuditEntry.from_dict(e) for e in payload["entries"]]
+        checkpoints = [Checkpoint.from_dict(c) for c in payload["checkpoints"]]
+        covered = verify_chain(entries, checkpoints, registry, payload["operator"])
+        return entries, checkpoints, covered
 
     # -- query helpers ----------------------------------------------------
 

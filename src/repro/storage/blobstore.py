@@ -106,6 +106,10 @@ class BlobStore:
     def list_keys(self, container: str) -> list[str]:
         return sorted(k for (c, k) in self._objects if c == container)
 
+    def objects(self) -> list[StoredObject]:
+        """Every stored object, in (container, key) order."""
+        return [self._objects[k] for k in sorted(self._objects)]
+
     def total_bytes(self) -> int:
         return sum(o.size for o in self._objects.values())
 

@@ -7,7 +7,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hashes import digest
 from repro.crypto.pki import CertificateAuthority, Identity, KeyRegistry
 from repro.errors import IntegrityError, StorageError
-from repro.storage.auditlog import AuditLog, verify_chain
+from repro.storage.auditlog import AuditEntry, AuditLog, verify_chain
 
 
 @pytest.fixture(scope="module")
@@ -108,6 +108,117 @@ class TestVerify:
         log = filled_log(operator, n=10, interval=4)
         covered = verify_chain(log.entries[:8], log.checkpoints, registry, "eve-storage")
         assert covered == 7
+
+
+class TestCanonicalEncoding:
+    def test_v2_is_the_default(self, world):
+        _, operator = world
+        log = filled_log(operator, n=2)
+        assert all(e.version == 2 for e in log.entries)
+        assert log.entries[0].canonical_bytes().startswith(b"audit-entry-v2|")
+
+    def test_v2_timestamp_fixed_width_microseconds(self):
+        entry = AuditEntry(0, 1.5, "put", "c", "k", b"\x00" * 32)
+        fields = entry.canonical_bytes().split(b"|")
+        assert fields[2] == b"00000000000001500000"
+        assert len(fields[2]) == 20
+
+    def test_v2_encoding_repr_independent(self):
+        """The v1 bug: two floats with the same microsecond value but
+        different reprs hashed differently.  v2 must not care."""
+        a = AuditEntry(0, 0.1, "put", "c", "k", b"\x00" * 32)
+        b = AuditEntry(0, 0.1000000000000000055511151231257827, "put", "c", "k", b"\x00" * 32)
+        assert repr(a.at_time) != repr(b.at_time) or a.at_time == b.at_time
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_v1_chain_still_verifies(self, world):
+        """An old chain built with v1 entries keeps verifying: the
+        encoding dispatches on each entry's own version."""
+        registry, operator = world
+        from repro.crypto import rsa
+        from repro.storage.auditlog import _GENESIS, Checkpoint
+
+        head = _GENESIS
+        entries = []
+        for i in range(4):
+            entry = AuditEntry(
+                i, float(i) + 0.1, "put", "c", f"k{i}",
+                digest("sha256", f"v{i}".encode()), version=1,
+            )
+            head = digest("sha256", head + entry.canonical_bytes())
+            entries.append(replace(entry, chain_hash=head))
+        cp = Checkpoint(upto_index=3, chain_hash=head, signature=b"")
+        cp = replace(cp, signature=rsa.sign(operator.private_key, cp.signed_bytes()))
+        assert verify_chain(entries, [cp], registry, "eve-storage") == 3
+
+    def test_v1_and_v2_domains_disjoint(self):
+        v1 = AuditEntry(0, 1.0, "put", "c", "k", b"\x00" * 32, version=1)
+        v2 = replace(v1, version=2)
+        assert v1.canonical_bytes() != v2.canonical_bytes()
+
+    def test_unknown_version_rejected(self):
+        entry = AuditEntry(0, 1.0, "put", "c", "k", b"\x00" * 32, version=3)
+        with pytest.raises(IntegrityError, match="version"):
+            entry.canonical_bytes()
+
+
+class TestDumpLoad:
+    def test_round_trip(self, world):
+        registry, operator = world
+        log = filled_log(operator, n=10, interval=4)
+        entries, checkpoints, covered = AuditLog.load(log.dump(), registry)
+        assert entries == log.entries
+        assert checkpoints == log.checkpoints
+        assert covered == 7
+
+    def test_dump_is_json_safe(self, world):
+        import json
+
+        _, operator = world
+        log = filled_log(operator, n=5, interval=4)
+        assert json.loads(json.dumps(log.dump())) == log.dump()
+
+    def test_load_verifies_v1_payload(self, world):
+        """A payload without version fields loads as v1 entries."""
+        registry, operator = world
+        log = filled_log(operator, n=4, interval=4)
+        payload = log.dump()
+        # Old producers never wrote a version field; the chain in this
+        # payload is v2, so rebuild it as a true v1 chain first.
+        for e in payload["entries"]:
+            del e["version"]
+        with pytest.raises(IntegrityError):
+            AuditLog.load(payload, registry)
+
+    def test_truncated_at_checkpoint_boundary_accepted(self, world):
+        """Documented rule: cutting exactly at a signed boundary (and
+        dropping later checkpoints) looks like an honestly shorter log;
+        the reduced covered index is the out-of-band tell."""
+        registry, operator = world
+        log = filled_log(operator, n=10, interval=4)  # checkpoints at 3, 7
+        payload = log.dump()
+        payload["entries"] = payload["entries"][:4]          # cut after cp @3
+        payload["checkpoints"] = payload["checkpoints"][:1]  # drop cp @7
+        _, _, covered = AuditLog.load(payload, registry)
+        assert covered == 3
+
+    def test_truncated_between_checkpoints_detected(self, world):
+        """Cutting between checkpoints while a later checkpoint
+        survives is flagged: the checkpoint refers past the end."""
+        registry, operator = world
+        log = filled_log(operator, n=10, interval=4)
+        payload = log.dump()
+        payload["entries"] = payload["entries"][:6]  # cut between cp@3 and cp@7
+        with pytest.raises(IntegrityError, match="truncation"):
+            AuditLog.load(payload, registry)
+
+    def test_edited_entry_in_payload_detected(self, world):
+        registry, operator = world
+        log = filled_log(operator, n=10, interval=4)
+        payload = log.dump()
+        payload["entries"][2]["operation"] = "delete"
+        with pytest.raises(IntegrityError, match="chain hash"):
+            AuditLog.load(payload, registry)
 
 
 class TestForensics:
