@@ -8,6 +8,7 @@ stable outputs), and asserts the reproduction facts hold.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -25,7 +26,8 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def emit(results_dir):
-    """Render an ExperimentResult, save it, and echo it to stdout."""
+    """Render an ExperimentResult, save it (.txt for humans, .json with
+    run metadata for machines), and echo it to stdout."""
 
     def _emit(result, extra: str = "") -> str:
         text = render_table(result.headers, result.rows,
@@ -35,7 +37,35 @@ def emit(results_dir):
         if extra:
             text += "\n" + extra
         (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+        write_json(results_dir, result)
         print("\n" + text)
         return text
 
     return _emit
+
+
+def write_json(results_dir: pathlib.Path, result) -> None:
+    """Machine-readable twin of the .txt artifact.  Every record carries
+    the run metadata (seed, repo version, sim-clock duration when one
+    simulation drove the experiment) so a result file is traceable to
+    the exact run that produced it."""
+    record = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": [[repr(c) if not isinstance(c, (str, int, float, bool, type(None))) else c
+                  for c in row] for row in result.rows],
+        "facts": {k: _jsonable(v) for k, v in result.facts.items()},
+        "meta": result.meta,
+    }
+    (results_dir / f"{result.experiment_id}.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True, default=repr) + "\n"
+    )
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -28,7 +28,7 @@ PAYLOAD = HmacDrbg(b"bulk-backup").generate(256 * 1024)  # evidence-sized sample
 def tpnr_cost():
     dep = make_deployment(seed=b"bulk-tpnr", channel=CHANNEL)
     run_upload(dep, PAYLOAD)
-    return measure(dep.network.trace, "TPNR Normal", "tpnr.")
+    return measure(dep.network.trace, "TPNR Normal", "tpnr.", network=dep.network)
 
 
 def zg_cost():
@@ -47,7 +47,7 @@ def zg_cost():
         network.add_node(node)
     client.exchange("bob", PAYLOAD)
     sim.run()
-    return measure(network.trace, "Traditional NR (ZG)", "zg.")
+    return measure(network.trace, "Traditional NR (ZG)", "zg.", network=network)
 
 
 def main() -> None:

@@ -41,7 +41,7 @@ True
 True
 """
 
-from . import analysis, attacks, baselines, bridging, core, crypto, errors, net, storage
+from . import analysis, attacks, baselines, bridging, core, crypto, errors, net, obs, storage
 from .core import (
     Arbitrator,
     Deployment,
@@ -76,6 +76,7 @@ __all__ = [
     "crypto",
     "errors",
     "net",
+    "obs",
     "storage",
     "Arbitrator",
     "Deployment",

@@ -52,6 +52,7 @@ from .workload import WorkloadSpec, resilience_sweep, run_workload
 
 __all__ = [
     "ExperimentResult",
+    "run_meta",
     "experiment_table1",
     "experiment_fig1",
     "experiment_fig2",
@@ -68,6 +69,7 @@ __all__ = [
     "experiment_fault_campaign",
     "experiment_crash_recovery",
     "experiment_evidence_ablation",
+    "experiment_observability",
 ]
 
 
@@ -81,6 +83,22 @@ class ExperimentResult:
     rows: list[list[Any]]
     facts: dict[str, Any] = field(default_factory=dict)
     notes: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def run_meta(seed: bytes, sim_duration: float | None = None) -> dict[str, Any]:
+    """Provenance stamp for a result: the seed it is reproducible from,
+    the repo version that produced it, and (when one simulation drove
+    the experiment) the simulated-clock duration of that run."""
+    from .. import __version__  # lazy: repro/__init__ imports this module
+
+    meta: dict[str, Any] = {
+        "seed": seed.decode("latin-1"),
+        "repo_version": __version__,
+    }
+    if sim_duration is not None:
+        meta["sim_duration"] = sim_duration
+    return meta
 
 
 # ---------------------------------------------------------------------------
@@ -127,6 +145,7 @@ def experiment_table1(seed: bytes = b"exp/t1") -> ExperimentResult:
             "put_rendered": format_request(put_request),
             "get_rendered": format_request(get_request),
         },
+        meta=run_meta(seed),
     )
 
 
@@ -187,6 +206,7 @@ def experiment_fig1(
             "all_answered": total_responses == n_clients * requests_per_client,
             "elapsed": sim.now,
         },
+        meta=run_meta(seed, sim.now),
     )
 
 
@@ -236,6 +256,7 @@ def experiment_fig2(
         headers=["bytes", "transit (days)", "job status", "bytes loaded", "MD5 verified"],
         rows=rows,
         facts={"all_jobs_completed": all_verified, "jobs": len(file_sizes)},
+        meta=run_meta(seed, sim.now),
     )
 
 
@@ -272,6 +293,7 @@ def experiment_fig3(seed: bytes = b"exp/f3") -> ExperimentResult:
             "wrong_key_rejected": bad.status == 403,
             "secret_key_bits": len(account.secret_key) * 8,
         },
+        meta=run_meta(seed),
     )
 
 
@@ -328,6 +350,7 @@ def experiment_fig4(seed: bytes = b"exp/f4") -> ExperimentResult:
             "tunnel_enforced": outcomes["unknown consumer key"].startswith("denied"),
             "replay_blocked": outcomes["replayed signed request"].startswith("denied"),
         },
+        meta=run_meta(seed),
     )
 
 
@@ -384,6 +407,7 @@ def experiment_fig5(seed: bytes = b"exp/f5", trials: int = 10) -> ExperimentResu
         rows=rows,
         facts=facts,
         notes="Attribution = a dispute ends provider-at-fault with evidence.",
+        meta=run_meta(seed),
     )
 
 
@@ -434,6 +458,7 @@ def experiment_fig6(seed: bytes = b"exp/f6") -> ExperimentResult:
         headers=["flow", "message sequence", "outcome"],
         rows=rows,
         facts=facts,
+        meta=run_meta(seed),
     )
 
 
@@ -465,6 +490,7 @@ def experiment_bridging(seed: bytes = b"exp/s3",
                  "tamper verdict", "blackmail verdict", "up msgs", "down msgs", "dispute msgs"],
         rows=rows,
         facts=facts,
+        meta=run_meta(seed),
     )
 
 
@@ -489,7 +515,7 @@ def _run_zg_exchange(seed: bytes, payload: bytes, channel: ChannelSpec):
     label = client.exchange("bob", payload)
     sim.run()
     assert client.outcomes[label].complete
-    return network.trace
+    return network
 
 
 def experiment_step_counts(
@@ -507,9 +533,9 @@ def experiment_step_counts(
         dep = make_deployment(seed=seed + f"/tpnr/{size}".encode(), channel=channel)
         outcome = run_upload(dep, payload)
         assert outcome.upload_status is TxStatus.COMPLETED
-        tpnr_cost = measure(dep.network.trace, "tpnr", "tpnr.")
-        zg_trace = _run_zg_exchange(seed + f"/zg/{size}".encode(), payload, channel)
-        zg_cost = measure(zg_trace, "zg", "zg.")
+        tpnr_cost = measure(dep.network.trace, "tpnr", "tpnr.", network=dep.network)
+        zg_net = _run_zg_exchange(seed + f"/zg/{size}".encode(), payload, channel)
+        zg_cost = measure(zg_net.trace, "zg", "zg.", network=zg_net)
         rows.append(["TPNR Normal", size, tpnr_cost.steps, tpnr_cost.bytes_on_wire,
                      f"{tpnr_cost.latency:.3f}", tpnr_cost.uses_ttp])
         rows.append(["Traditional (ZG)", size, zg_cost.steps, zg_cost.bytes_on_wire,
@@ -530,6 +556,7 @@ def experiment_step_counts(
         notes="TPNR Normal mode completes the exchange of data + evidence in 2 "
         "messages with an off-line TTP; the traditional protocol needs 5 "
         "messages with the TTP on-line in every exchange.",
+        meta=run_meta(seed),
     )
 
 
@@ -553,6 +580,7 @@ def experiment_attacks(seed: bytes = b"exp/s5") -> ExperimentResult:
         headers=["attack", "target", "succeeded", "detail"],
         rows=rows,
         facts=facts,
+        meta=run_meta(seed),
     )
 
 
@@ -596,6 +624,7 @@ def experiment_shipping(
             "max_fraction": max(fractions),
             "protocol_is_trivial": max(fractions) < 1e-3,
         },
+        meta=run_meta(seed, dep.sim.now),
     )
 
 
@@ -639,6 +668,7 @@ def experiment_scalability(
         facts=facts,
         notes="2 messages per transaction regardless of concurrency: the "
         "off-line-TTP design has no shared bottleneck on the happy path.",
+        meta=run_meta(seed),
     )
 
 
@@ -682,6 +712,7 @@ def experiment_resilience(
         notes="'resolved' = receipts recovered through the in-line TTP; "
         "'failed' transactions still end with evidence (time-outs, TTP "
         "statements) rather than limbo.",
+        meta=run_meta(seed),
     )
 
 
@@ -725,12 +756,28 @@ def experiment_evidence_ablation(seed: bytes = b"exp/a1") -> ExperimentResult:
         facts=facts,
         notes=f"The outer encryption costs {overhead} bytes per session and is "
         "what keeps the evidence confidential to its recipient (§4.1).",
+        meta=run_meta(seed),
     )
 
 
 # ---------------------------------------------------------------------------
 # FC1 — fault-injection campaign: targeted faults vs the hardened sessions
 # ---------------------------------------------------------------------------
+
+def _fault_class_line(fault_classes: dict[str, dict]) -> str:
+    """One compact, deterministic sentence summarizing the per-class
+    telemetry, for experiment notes (the full table is in the campaign
+    report and the facts carry the structured form)."""
+    parts = []
+    for name, row in sorted(fault_classes.items()):
+        wal = f" wal={row['wal_replayed']}" if "wal_replayed" in row else ""
+        parts.append(
+            f"{name}: plans={row['plans']} retx={row['retries']} "
+            f"escal={row['escalation_rate']:.0%}{wal} "
+            f"lat={row['mean_latency']:.2f}s"
+        )
+    return "; ".join(parts) + "."
+
 
 def experiment_fault_campaign(
     seed: bytes = b"exp/fc1", n_plans: int = 50
@@ -746,9 +793,11 @@ def experiment_fault_campaign(
     messages), and the whole table is reproducible from its seed.
     """
     from ..net.faults import CampaignRunner, generate_plans
+    from ..obs.campaign import class_breakdown
 
     plans = generate_plans(seed, n_plans)
-    report = CampaignRunner(seed=seed).run(plans)
+    runner = CampaignRunner(seed=seed, observe=True)
+    report = runner.run(plans)
     status_counts = report.status_counts()
     rows = [
         [o.index, o.plan.name, o.plan.describe(), o.status,
@@ -767,6 +816,16 @@ def experiment_fault_campaign(
         "ttp_involved": sum(1 for o in report.outcomes if o.ttp_involved),
         "signature": report.signature(),
         "all_settled": report.hung_sessions == 0,
+        # Per-fault-class telemetry: retries, escalation rate, latency.
+        "fault_classes": {
+            row["fault_class"]: {
+                "plans": row["plans"],
+                "retries": row["retries"],
+                "escalation_rate": row["escalation_rate"],
+                "mean_latency": row["elapsed_mean"],
+            }
+            for row in class_breakdown(report)
+        },
     }
     return ExperimentResult(
         experiment_id="FC1",
@@ -778,7 +837,9 @@ def experiment_fault_campaign(
         notes="Each plan targets specific messages (or crashes a party) of one "
         "upload+download session; retransmission with capped backoff absorbs "
         "most faults, the Resolve path the rest. Identical seed => identical "
-        f"table (signature {facts['signature'][:16]}...).",
+        f"table (signature {facts['signature'][:16]}...). "
+        f"Per fault class: {_fault_class_line(facts['fault_classes'])}",
+        meta=run_meta(seed, runner.deployment.sim.now),
     )
 
 
@@ -800,9 +861,11 @@ def experiment_crash_recovery(
     is byte-for-byte reproducible from its seed.
     """
     from ..net.faults import CampaignRunner, generate_amnesia_plans
+    from ..obs.campaign import class_breakdown
 
     plans = generate_amnesia_plans(seed, n_plans)
-    report = CampaignRunner(seed=seed, durable=True).run(plans)
+    runner = CampaignRunner(seed=seed, durable=True, observe=True)
+    report = runner.run(plans)
     status_counts = report.status_counts()
     rows = [
         [o.index, o.plan.name, o.plan.describe(), o.status,
@@ -830,6 +893,17 @@ def experiment_crash_recovery(
         "no_evidence_lost": not any(
             "lost" in v for o in report.outcomes for v in o.violations
         ),
+        # Per-fault-class telemetry: WAL replay lengths, escalation rate.
+        "fault_classes": {
+            row["fault_class"]: {
+                "plans": row["plans"],
+                "retries": row["retries"],
+                "escalation_rate": row["escalation_rate"],
+                "wal_replayed": row["wal_replayed"],
+                "mean_latency": row["elapsed_mean"],
+            }
+            for row in class_breakdown(report)
+        },
     }
     return ExperimentResult(
         experiment_id="CR1",
@@ -842,5 +916,119 @@ def experiment_crash_recovery(
         "checksummed WAL before acting on them; an amnesia crash wipes its "
         "volatile state mid-session and recovery replays the durable prefix, "
         "re-sending or escalating in-flight work. Identical seed => identical "
-        f"table (signature {facts['signature'][:16]}...).",
+        f"table (signature {facts['signature'][:16]}...). "
+        f"Per fault class: {_fault_class_line(facts['fault_classes'])}",
+        meta=run_meta(seed, runner.deployment.sim.now),
+    )
+
+
+# ---------------------------------------------------------------------------
+# OB1 — observability: span trees + metrics across the four TPNR paths
+# ---------------------------------------------------------------------------
+
+def experiment_observability(seed: bytes = b"exp/ob1") -> ExperimentResult:
+    """Drive every TPNR path — Normal, Abort, Resolve, and an
+    amnesia-crash recovery resume — on *observed* deployments and show
+    what the telemetry layer captured: a complete, parent-linked span
+    tree per transaction, deterministic metrics stamped with the
+    simulation clock, and crypto hot-path call counts.
+
+    The facts assert the observability contract: every transaction's
+    tree is complete (root closed, every child linked and finished),
+    the metrics snapshot is non-empty and deterministic, the exporters
+    produce valid JSONL/Prometheus text, and crypto instrumentation
+    sees the RSA/AEAD traffic the session actually generated.
+    """
+    import json
+
+    from ..core.protocol import run_session
+    from ..net.faults import CrashWindow, FaultInjector, FaultPlan
+    from ..obs.exporters import spans_jsonl
+    from ..obs.instrument import CRYPTO_OPS
+
+    rows = []
+    facts: dict[str, Any] = {}
+    crypto_calls_total = 0
+
+    def inspect(mode: str, dep, txn: str) -> None:
+        nonlocal crypto_calls_total
+        tracer = dep.obs.tracer
+        spans = tracer.trace(txn)
+        complete = tracer.tree_complete(txn)
+        root = tracer.root(txn)
+        status = root.status if root is not None else "missing"
+        events = sum(len(s.events) for s in spans)
+        snapshot = dep.obs.metrics.deterministic_snapshot()
+        rows.append([mode, status, len(spans), events, complete, len(snapshot)])
+        facts[f"{mode}/tree_complete"] = complete
+        facts[f"{mode}/spans"] = len(spans)
+        facts[f"{mode}/metrics"] = len(snapshot)
+        # Exporter sanity: every span line is valid JSON carrying the txn.
+        lines = [json.loads(line) for line in spans_jsonl(tracer).splitlines()]
+        facts[f"{mode}/jsonl_valid"] = all("span_id" in d for d in lines)
+
+    # Normal mode (upload + verified download).
+    dep = make_deployment(seed=seed + b"/normal", observe=True)
+    with dep.obs.observe_crypto() as crypto:
+        outcome = run_session(dep, b"observed payload " * 16)
+    calls = {op: int(crypto.calls(op)) for op in CRYPTO_OPS}
+    crypto_calls_total += sum(calls.values())
+    facts["normal/crypto_calls"] = calls
+    inspect("normal", dep, outcome.transaction_id)
+
+    # Abort mode (receipt withheld, client gives up before escalating).
+    dep_a = make_deployment(seed=seed + b"/abort", observe=True,
+                            behavior=ProviderBehavior(silent_on_upload=True))
+    outcome_a = run_abort(dep_a, b"observed abort payload")
+    inspect("abort", dep_a, outcome_a.transaction_id)
+
+    # Resolve mode (receipt withheld, client escalates to the TTP).
+    dep_r = make_deployment(seed=seed + b"/resolve", observe=True,
+                            behavior=ProviderBehavior(silent_on_upload=True))
+    outcome_r = run_upload(dep_r, b"observed resolve payload")
+    inspect("resolve", dep_r, outcome_r.transaction_id)
+
+    # Crash-recovery resume: alice takes an amnesia crash mid-upload and
+    # her recovered journal re-sends it.
+    dep_c = make_deployment(seed=seed + b"/crash", observe=True, durable=True)
+    plan = FaultPlan(
+        name="ob1-amnesia-alice",
+        crashes=(CrashWindow("alice", 0.0, 2.0, amnesia=True),),
+    )
+    injector = FaultInjector(plan)
+    dep_c.network.install_adversary(injector)
+    injector.reset(epoch=dep_c.sim.now)
+    outcome_c = run_upload(dep_c, b"observed crash payload")
+    dep_c.network.remove_adversary()
+    inspect("crash-resume", dep_c, outcome_c.transaction_id)
+    recovery_spans = [
+        s for s in dep_c.obs.tracer.trace(outcome_c.transaction_id)
+        if s.name.startswith("recovery.")
+    ]
+    facts["crash-resume/recovery_spans"] = len(recovery_spans)
+    facts["crash-resume/status"] = outcome_c.upload_status.value
+
+    facts["all_trees_complete"] = all(
+        facts[f"{m}/tree_complete"]
+        for m in ("normal", "abort", "resolve", "crash-resume")
+    )
+    facts["metrics_nonempty"] = all(
+        facts[f"{m}/metrics"] > 0
+        for m in ("normal", "abort", "resolve", "crash-resume")
+    )
+    facts["crypto_observed"] = crypto_calls_total > 0
+    facts["prometheus_nonempty"] = bool(dep.obs.prometheus_text().strip())
+    return ExperimentResult(
+        experiment_id="OB1",
+        title="Extension — observability: span trees + metrics across TPNR paths",
+        headers=["mode", "root status", "spans", "events", "tree complete",
+                 "metrics"],
+        rows=rows,
+        facts=facts,
+        notes="Spans live on the network-side tracer (keyed by transaction id, "
+        "events carry msg_id for wire-trace correlation), so trees survive "
+        "amnesia crashes of party state; metrics are sim-clock-stamped and "
+        "deterministic, with wall-clock crypto timings quarantined as "
+        "nondeterministic.",
+        meta=run_meta(seed),
     )

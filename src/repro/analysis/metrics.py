@@ -5,6 +5,15 @@ The quantities the paper reasons about qualitatively: protocol *steps*
 end-to-end latency.  Everything here is derived from
 :class:`repro.net.trace.TraceRecorder` events, so any protocol run on
 the simulated network can be measured the same way.
+
+TTP attribution is derived from the deployment, not from party names:
+any node whose class declares ``is_ttp = True`` (the TPNR
+:class:`~repro.core.ttp.TrustedThirdParty`, the baseline
+:class:`~repro.baselines.zhou_gollmann.ZgOnlineTtp`) counts as a
+trusted third party, whatever it happens to be called.  Pass the
+:class:`~repro.net.network.Network` to :func:`measure` to use this;
+the legacy name tuple remains only for bare traces with no network
+attached.
 """
 
 from __future__ import annotations
@@ -13,7 +22,12 @@ from dataclasses import dataclass
 
 from ..net.trace import TraceRecorder
 
-__all__ = ["ProtocolCost", "measure", "compare"]
+__all__ = ["ProtocolCost", "infer_ttp_names", "measure", "compare"]
+
+# Fallback for bare traces measured without their network: the role
+# names the built-in deployments use.  Deployments with renamed TTPs
+# must pass ``network=`` so the roles are derived, not guessed.
+LEGACY_TTP_NAMES = ("ttp", "zg-ttp")
 
 
 @dataclass(frozen=True)
@@ -32,9 +46,33 @@ class ProtocolCost:
         return self.ttp_messages > 0
 
 
-def measure(trace: TraceRecorder, label: str, kind_prefix: str = "",
-            ttp_names: tuple[str, ...] = ("ttp", "zg-ttp")) -> ProtocolCost:
-    """Summarize a trace into a :class:`ProtocolCost`."""
+def infer_ttp_names(network) -> tuple[str, ...]:
+    """Names of every node on *network* whose class declares itself a
+    trusted third party (``is_ttp = True``)."""
+    return tuple(
+        name
+        for name in network.node_names()
+        if getattr(network.node(name), "is_ttp", False)
+    )
+
+
+def measure(
+    trace: TraceRecorder,
+    label: str,
+    kind_prefix: str = "",
+    ttp_names: tuple[str, ...] | None = None,
+    network=None,
+) -> ProtocolCost:
+    """Summarize a trace into a :class:`ProtocolCost`.
+
+    TTP roles come from (highest priority first): an explicit
+    *ttp_names* tuple, the *network*'s ``is_ttp`` nodes, or the legacy
+    built-in role names for bare traces.
+    """
+    if ttp_names is None:
+        ttp_names = (
+            infer_ttp_names(network) if network is not None else LEGACY_TTP_NAMES
+        )
     sends = trace.sends(kind_prefix)
     ttp_messages = sum(1 for e in sends if e.src in ttp_names or e.dst in ttp_names)
     return ProtocolCost(

@@ -240,6 +240,8 @@ class ZgProvider(Node):
 class ZgOnlineTtp(Node):
     """The on-line TTP that notarizes every key (steps 4 and 5)."""
 
+    is_ttp = True  # role marker: analysis derives TTP attribution from this
+
     def __init__(self, identity: Identity, registry: KeyRegistry) -> None:
         super().__init__(identity.name)
         self.identity = identity

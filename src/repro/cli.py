@@ -14,6 +14,10 @@ Commands
     One TPNR session with a tampering provider, through arbitration.
 ``workload [--clients N] [--transactions M] [--drop P] [--seed S]``
     Drive a multi-client workload and print the outcome summary.
+``obs [--seed S] [--dump-dir DIR]``
+    Run one observed TPNR session and print (or dump) its telemetry:
+    the span tree, the metrics summary, and — with ``--dump-dir`` —
+    ``spans.jsonl`` / ``metrics.jsonl`` / ``metrics.prom`` files.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from .core import (
     dispute_tampering,
     make_deployment,
     run_download,
+    run_session,
     run_upload,
 )
 from .net.channel import ChannelSpec
@@ -57,6 +62,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "A1": (exp.experiment_evidence_ablation, "ablation — evidence encryption"),
     "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
     "CR1": (exp.experiment_crash_recovery, "extension — amnesia-crash recovery campaign"),
+    "OB1": (exp.experiment_observability, "extension — observability span trees + metrics"),
 }
 
 
@@ -141,6 +147,52 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0 if report.all_terminated else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """One observed TPNR session; exit non-zero unless the telemetry is
+    complete (non-empty metrics, valid span JSONL, complete span tree)."""
+    import json
+    import pathlib
+
+    from .obs.exporters import span_tree_text
+
+    dep = make_deployment(seed=args.seed.encode(), observe=True)
+    with dep.obs.observe_crypto():
+        outcome = run_session(dep, b"observed session payload " * 16)
+    txn = outcome.transaction_id
+    spans_text = dep.obs.spans_jsonl()
+    metrics_text = dep.obs.metrics_jsonl()
+    prom_text = dep.obs.prometheus_text()
+    snapshot = dep.obs.metrics.snapshot()
+    span_lines = [json.loads(line) for line in spans_text.splitlines()]
+    ok = (
+        bool(snapshot)
+        and bool(span_lines)
+        and all("span_id" in d and "trace_id" in d for d in span_lines)
+        and dep.obs.tracer.tree_complete(txn)
+    )
+    print(span_tree_text(dep.obs.tracer, txn))
+    print(dep.obs.summary_table(title=f"Metrics (seed={args.seed!r})"))
+    print(render_kv(
+        [
+            ("transaction", txn),
+            ("status", outcome.upload_status.value),
+            ("spans", len(span_lines)),
+            ("tree complete", dep.obs.tracer.tree_complete(txn)),
+            ("metric series", len(snapshot)),
+            ("telemetry ok", ok),
+        ],
+        title="Observability check",
+    ))
+    if args.dump_dir:
+        out = pathlib.Path(args.dump_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "spans.jsonl").write_text(spans_text)
+        (out / "metrics.jsonl").write_text(metrics_text)
+        (out / "metrics.prom").write_text(prom_text)
+        print(f"\nwrote spans.jsonl, metrics.jsonl, metrics.prom to {out}/")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_w.add_argument("--drop", type=float, default=0.0)
     p_w.add_argument("--seed", default="cli", help="determinism seed")
     p_w.set_defaults(func=_cmd_workload)
+
+    p_o = sub.add_parser("obs", help="run one observed session, dump telemetry")
+    p_o.add_argument("--seed", default="cli", help="determinism seed")
+    p_o.add_argument("--dump-dir", default="",
+                     help="directory for spans.jsonl / metrics.jsonl / metrics.prom")
+    p_o.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -122,6 +122,15 @@ class TpnrClient(TpnrParty):
             data=bytes(data),
         )
         self.uploads[transaction_id] = handle
+        obs = self.obs
+        if obs.enabled:
+            # The root span of the transaction's tree: every later
+            # phase span (resolve, abort, download, recovery) and every
+            # other party's span parents under it via the trace id.
+            obs.tracer.start(
+                transaction_id, "tpnr.transaction",
+                party=self.name, provider=provider, data_size=len(data),
+            )
         # Journal the intent (payload included) before the wire sees
         # anything — a crash after this point can re-send the upload.
         self.journal_txn(record)
@@ -172,6 +181,7 @@ class TpnrClient(TpnrParty):
         if record.status is not TxStatus.PENDING:
             record.status = TxStatus.PENDING
             self.journal_txn(record)
+        self.span_event(transaction_id, "upload.resumed")
         header = self.make_header(Flag.UPLOAD, handle.provider, transaction_id, handle.data_hash)
         message = self.make_message(header, data=handle.data)
         self.send(handle.provider, "tpnr.upload", message)
@@ -191,6 +201,7 @@ class TpnrClient(TpnrParty):
             return
         self.cancel_retransmit(("upload", transaction_id))
         handle = self.uploads[transaction_id]
+        self.span_event(transaction_id, "upload.timeout")
         if handle.auto_resolve and self.ttp_name:
             self.start_resolve(transaction_id, report="no upload receipt before time-out")
         else:
@@ -207,6 +218,7 @@ class TpnrClient(TpnrParty):
             raise ProtocolError(f"no upload known for {transaction_id!r}")
         result = DownloadResult(transaction_id=transaction_id)
         self.downloads[transaction_id] = result
+        self.span_begin(("download", transaction_id), transaction_id, "client.download")
         if self.journal is not None:
             self.journal.log("client.download", txn=transaction_id)
         self._send_download_request(transaction_id)
@@ -239,6 +251,7 @@ class TpnrClient(TpnrParty):
         if result is not None and result.data is None and not result.detail:
             self.cancel_retransmit(("download", transaction_id))
             result.detail = "timeout waiting for download response"
+            self.span_end(("download", transaction_id), status="timeout")
             if self.uploads[transaction_id].auto_resolve and self.ttp_name:
                 self.start_resolve(transaction_id, report="no download response before time-out")
 
@@ -326,6 +339,7 @@ class TpnrClient(TpnrParty):
         self.cancel_retransmit(("upload", transaction_id))
         record = self.transactions[transaction_id]
         handle.abort_replied = False
+        self.span_begin(("abort", transaction_id), transaction_id, "client.abort")
         if not handle.aborting:
             handle.aborting = True
             if self.journal is not None:
@@ -360,6 +374,7 @@ class TpnrClient(TpnrParty):
         if record is None or handle is None or handle.abort_replied:
             return
         self.cancel_retransmit(("abort", transaction_id))
+        self.span_end(("abort", transaction_id), status="timeout")
         if record.status is TxStatus.PENDING:
             self.finish_txn(record, TxStatus.FAILED, "abort unacknowledged by provider")
 
@@ -373,6 +388,10 @@ class TpnrClient(TpnrParty):
             raise ProtocolError("no TTP configured")
         record = self.transactions[transaction_id]
         record.status = TxStatus.RESOLVING
+        self.span_begin(
+            ("resolve", transaction_id), transaction_id, "client.resolve",
+            report=report,
+        )
         self.journal_txn(record)
 
         def rebuild() -> TpnrMessage:
@@ -403,6 +422,7 @@ class TpnrClient(TpnrParty):
         record = self.transactions.get(transaction_id)
         if record is not None and record.status is TxStatus.RESOLVING:
             self.cancel_retransmit(("resolve", transaction_id))
+            self.span_end(("resolve", transaction_id), status="timeout")
             self.finish_txn(record, TxStatus.FAILED, "resolve timed out (TTP unreachable?)")
 
     # ------------------------------------------------------------------
@@ -457,6 +477,7 @@ class TpnrClient(TpnrParty):
             self.cancel_retransmit(("upload", transaction_id))
             self.cancel_retransmit(("resolve", transaction_id))
             handle.data = None  # no restarts needed anymore
+            self.span_end(("resolve", transaction_id), status="ok")
             self.finish_txn(record, TxStatus.COMPLETED)
 
     def _handle_download_response(self, message: TpnrMessage, opened) -> None:
@@ -475,6 +496,7 @@ class TpnrClient(TpnrParty):
             # Transmission integrity failure — not (yet) a dispute.
             result.detail = "served data does not match its own signed hash"
             self._journal_download_result(result)
+            self.span_end(("download", transaction_id), status="hash-mismatch")
             return
         result.data = data
         if served_hash == handle.data_hash:
@@ -494,6 +516,10 @@ class TpnrClient(TpnrParty):
             Flag.DOWNLOAD_ACK, handle.provider, transaction_id, served_hash
         )
         self.send(handle.provider, "tpnr.download.ack", self.make_message(ack_header))
+        self.span_end(
+            ("download", transaction_id),
+            status="tampering-detected" if result.tampering_detected else "ok",
+        )
 
     def _journal_download_result(self, result: DownloadResult) -> None:
         if self.journal is not None:
@@ -523,19 +549,23 @@ class TpnrClient(TpnrParty):
         flag = message.header.flag
         if flag is Flag.ABORT_ACCEPT:
             handle.aborting = False
+            self.span_end(("abort", transaction_id), status="accepted")
             if record.status is TxStatus.PENDING:
                 self.finish_txn(record, TxStatus.ABORTED, "abort accepted")
         elif flag is Flag.ABORT_REJECT:
             handle.aborting = False
             record.detail = "abort rejected by provider"
+            self.span_end(("abort", transaction_id), status="rejected")
         else:  # ABORT_ERROR: double-check parameters, regenerate, resubmit
             if handle.abort_retries_left > 0:
                 handle.abort_retries_left -= 1
                 self.abort(transaction_id)
             elif record.status is TxStatus.PENDING:
+                self.span_end(("abort", transaction_id), status="failed")
                 self.finish_txn(record, TxStatus.FAILED, "abort failed after retry")
             else:
                 record.detail = "abort failed after retry"
+                self.span_end(("abort", transaction_id), status="failed")
 
     def _handle_resolve_result(self, message: TpnrMessage, opened) -> None:
         """TTP relayed Bob's answer; the embedded NRR restores fairness."""
@@ -565,6 +595,7 @@ class TpnrClient(TpnrParty):
         self.cancel_retransmit(("resolve", transaction_id))
         if record.status is not TxStatus.RESOLVING:
             return
+        self.span_end(("resolve", transaction_id), status=f"result:{action}")
         handle = self.uploads.get(transaction_id)
         if action == ResolveAction.CONTINUE.value:
             self.finish_txn(record, TxStatus.RESOLVED, "resolved via TTP: provider continued")
@@ -587,4 +618,5 @@ class TpnrClient(TpnrParty):
         self.resolve_outcomes[transaction_id] = "failed: provider unresponsive"
         self.cancel_retransmit(("resolve", transaction_id))
         if record.status is TxStatus.RESOLVING:
+            self.span_end(("resolve", transaction_id), status="ttp-failure-statement")
             self.finish_txn(record, TxStatus.FAILED, "TTP: provider did not respond")

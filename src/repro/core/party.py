@@ -90,6 +90,10 @@ class TpnrParty(Node):
         self.crashed = False
         self.recoveries = 0
         self._live_timers: list[ScheduledEvent] = []
+        # Open observability spans keyed by phase, e.g.
+        # ("resolve", txn).  Volatile on purpose: an amnesia crash
+        # closes them (status "crashed") and wipes the map.
+        self._obs_spans: dict[Hashable, object] = {}
 
     # -- durability ----------------------------------------------------------
 
@@ -116,7 +120,17 @@ class TpnrParty(Node):
         or a crash+restart would reuse the sequence number."""
         if self.journal is not None and isinstance(payload, TpnrMessage):
             self.journal.log_send(payload.header)
-        return super().send(dst, kind, payload)
+        envelope = super().send(dst, kind, payload)
+        obs = self.obs
+        if obs.enabled and isinstance(payload, TpnrMessage):
+            # Correlate the span tree with the wire trace: the send
+            # event carries the envelope's msg_id, which the
+            # TraceRecorder indexes too.
+            root = obs.tracer.root(payload.header.transaction_id)
+            if root is not None:
+                root.event(self.now, f"send:{kind}", msg_id=envelope.msg_id,
+                           party=self.name)
+        return envelope
 
     def archive_evidence(self, opened: OpenedEvidence) -> bool:
         """Journal (if new) then archive one piece of evidence.
@@ -127,7 +141,18 @@ class TpnrParty(Node):
         """
         if self.journal is not None and not self.evidence_store.holds(opened):
             self.journal.log_evidence(opened)
-        return self.evidence_store.add(opened)
+        added = self.evidence_store.add(opened)
+        obs = self.obs
+        if obs.enabled and added:
+            obs.metrics.counter(
+                "party.evidence_archived",
+                party=self.name, flag=opened.header.flag.value,
+            ).inc()
+            root = obs.tracer.root(opened.header.transaction_id)
+            if root is not None:
+                root.event(self.now, f"evidence:{opened.header.flag.value}",
+                           party=self.name, signer=opened.signer)
+        return added
 
     def journal_txn(self, record: TransactionRecord) -> None:
         if self.journal is not None:
@@ -139,6 +164,23 @@ class TpnrParty(Node):
         """Finish a transaction and journal the terminal status."""
         record.finish(status, self.now, detail)
         self.journal_txn(record)
+        obs = self.obs
+        if obs.enabled:
+            root = obs.tracer.root(record.transaction_id)
+            if root is not None:
+                root.event(self.now, f"status:{status.value}",
+                           party=self.name, detail=detail)
+                # The client's record going terminal is the end of the
+                # transaction; its root span closes with that status.
+                if record.role == "client":
+                    obs.tracer.finish(root, status=status.value)
+            obs.metrics.counter(
+                "txn.finished", role=record.role, status=status.value
+            ).inc()
+            if record.role == "client":
+                obs.metrics.histogram("txn.duration_seconds").observe(
+                    self.now - record.started_at
+                )
 
     def begin_crash(self, amnesia: bool = False) -> None:
         """The process dies.  Always kill the retransmission loops (a
@@ -151,6 +193,16 @@ class TpnrParty(Node):
         if not amnesia:
             return
         self.crashed = True
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("party.crashes", party=self.name).inc()
+            # Close this party's open phase spans: the work they were
+            # timing died with the process.  (The spans themselves live
+            # on the network's tracer, which is why they survive to be
+            # closed at all.)
+            for span in self._obs_spans.values():
+                obs.tracer.finish(span, status="crashed")
+        self._obs_spans = {}
         for event in self._live_timers:
             event.cancel()
         self._live_timers = []
@@ -169,6 +221,40 @@ class TpnrParty(Node):
     def end_crash(self) -> None:
         """The process is back up (recovery runs separately)."""
         self.crashed = False
+
+    # -- observability spans ------------------------------------------------
+
+    def span_begin(self, key: Hashable, transaction_id: str, name: str, **attrs):
+        """Open a phase span under the transaction's root span.
+
+        No-op (returns None) when observation is off.  If a span with
+        the same *key* is already open it is kept and a ``retry`` event
+        is recorded instead — phases like Abort legitimately restart.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return None
+        existing = self._obs_spans.get(key)
+        if existing is not None and not existing.finished:
+            existing.event(self.now, "retry")
+            return existing
+        span = obs.tracer.start(transaction_id, name, party=self.name, **attrs)
+        self._obs_spans[key] = span
+        return span
+
+    def span_end(self, key: Hashable, status: str = "ok") -> None:
+        """Close the phase span opened under *key*, if any."""
+        span = self._obs_spans.pop(key, None)
+        if span is not None:
+            self.obs.tracer.finish(span, status=status)
+
+    def span_event(self, transaction_id: str, name: str, **attrs) -> None:
+        """Record an event on the transaction's root span, if any."""
+        obs = self.obs
+        if obs.enabled:
+            root = obs.tracer.root(transaction_id)
+            if root is not None:
+                root.event(self.now, name, party=self.name, **attrs)
 
     # -- state helpers -------------------------------------------------------
 
@@ -274,6 +360,9 @@ class TpnrParty(Node):
     def reject(self, kind: str, reason: str) -> None:
         """Record a rejected inbound message (attack metrics read this)."""
         self.rejected_messages.append((kind, reason))
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("party.rejections", party=self.name, kind=kind).inc()
 
     def corrupted_inbound(self, envelope: Envelope) -> bool:
         """Reject an envelope flagged corrupted in transit; True if so.
@@ -338,6 +427,11 @@ class TpnrParty(Node):
             return
         state.attempts_left -= 1
         self.retransmits_sent += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                "party.retransmits", party=self.name, kind=state.kind
+            ).inc()
         self.send(state.dst, state.kind, state.rebuild())
         if state.attempts_left <= 0:
             self.cancel_retransmit(key)

@@ -16,6 +16,7 @@ from ..crypto.pki import CertificateAuthority, Identity, KeyRegistry
 from ..net.channel import PERFECT, ChannelSpec
 from ..net.events import Simulator
 from ..net.network import Network
+from ..obs import NULL_OBS, Observability
 from .arbitrator import Arbitrator, Ruling
 from .client import DownloadResult, TpnrClient
 from .messages import Flag
@@ -51,6 +52,7 @@ class Deployment:
     arbitrator: Arbitrator
     extra_clients: dict[str, TpnrClient] = field(default_factory=dict)
     stable: object | None = None  # StableStore when built with durable=True
+    obs: Observability = NULL_OBS  # live when built with observe=True
 
     def run(self, until: float | None = None) -> None:
         self.network.sim.run(until)
@@ -91,6 +93,7 @@ def make_deployment(
     topology=None,
     durable: bool = False,
     snapshot_interval: int = 48,
+    observe: bool = False,
 ) -> Deployment:
     """Build a client + provider + TTP + arbitrator world.
 
@@ -104,10 +107,18 @@ def make_deployment(
     :class:`~repro.durability.journal.PartyJournal` over a shared
     :class:`~repro.durability.wal.StableStore` (``Deployment.stable``),
     making amnesia-crash windows recoverable.
+
+    With ``observe=True`` a live :class:`repro.obs.Observability` —
+    metrics registry + span tracer, both on the simulation clock — is
+    seated on the network; every node reports through it, and it is
+    exposed as ``Deployment.obs``.  Off by default: the seat then holds
+    the shared no-op and instrumented code costs one branch.
     """
     rng = HmacDrbg(seed)
     sim = Simulator()
     network = Network(sim, rng, default_channel=channel)
+    if observe:
+        network.obs = Observability(clock=lambda: sim.now)
     ca = CertificateAuthority("repro-ca", rng.fork("ca"), bits=key_bits)
     registry = KeyRegistry(ca)
     client_id = Identity.generate(client_name, rng, bits=key_bits)
@@ -159,6 +170,7 @@ def make_deployment(
         arbitrator=Arbitrator(registry),
         extra_clients=extra_clients,
         stable=stable,
+        obs=network.obs,
     )
 
 

@@ -127,6 +127,8 @@ class TpnrProvider(TpnrParty):
             self.cancel_retransmit(
                 ("serve", message.header.transaction_id, message.header.sender_id)
             )
+            self.span_event(message.header.transaction_id, "download.acked",
+                            requester=message.header.sender_id)
         elif flag is Flag.GRANT:
             self._handle_grant(message, opened)
         elif flag is Flag.ABORT:
@@ -148,6 +150,11 @@ class TpnrProvider(TpnrParty):
             return
         transaction_id = header.transaction_id
         existing = self.transactions.get(transaction_id)
+        if existing is None:
+            self.span_begin(
+                ("store", transaction_id), transaction_id, "provider.upload",
+                data_size=len(data),
+            )
         if existing is not None:
             if existing.data_hash != header.data_hash:
                 self.reject("tpnr.upload", "transaction ID reuse with different data")
@@ -159,6 +166,12 @@ class TpnrProvider(TpnrParty):
             # transaction state; just repeat the NRR so the sender can
             # stop retransmitting.
             self.duplicate_requests += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "party.duplicates_answered", party=self.name
+                ).inc()
+            self.span_event(transaction_id, "upload.duplicate")
             self.archive_evidence(opened)  # a fresh NRO is still evidence
             if existing.status is TxStatus.ABORTED or self.behavior.silent_on_upload:
                 return
@@ -195,9 +208,11 @@ class TpnrProvider(TpnrParty):
             # Bob pockets the NRO and never answers — the unfair move
             # the Resolve sub-protocol exists to punish.
             self.withheld_receipts.append(transaction_id)
+            self.span_end(("store", transaction_id), status="receipt-withheld")
             return
         self._send_upload_receipt(transaction_id)
         self.finish_txn(record, TxStatus.COMPLETED)
+        self.span_end(("store", transaction_id), status="ok")
 
     def _send_upload_receipt(self, transaction_id: str) -> None:
         record = self.transactions[transaction_id]
@@ -245,8 +260,17 @@ class TpnrProvider(TpnrParty):
             self.withheld_receipts.append(transaction_id)
             return
         requester = message.header.sender_id
+        # The serve span covers building + sending the response; the
+        # requester's ack lands later as a root-span event (the ack may
+        # never come, and a span must not stay open on a maybe).
+        serve_span = self.span_begin(
+            ("serve", transaction_id, requester), transaction_id,
+            "provider.serve", requester=requester,
+        )
         self._download_acked.discard((transaction_id, requester))
         self._serve_download(transaction_id, requester)
+        if serve_span is not None:
+            self.span_end(("serve", transaction_id, requester), status="ok")
         self.arm_retransmit(
             ("serve", transaction_id, requester),
             requester,

@@ -47,6 +47,8 @@ class _PendingResolve:
 class TrustedThirdParty(TpnrParty):
     """The reliable arbiter-adjacent server of Resolve mode."""
 
+    is_ttp = True  # role marker: analysis derives TTP attribution from this
+
     def __init__(
         self,
         identity: Identity,
@@ -114,6 +116,9 @@ class TrustedThirdParty(TpnrParty):
             return
         self.archive_evidence(opened)  # requester's NRO + anomaly report
         self.resolves_handled += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("ttp.resolves_handled").inc()
         self._open_resolve(
             transaction_id,
             requester=header.sender_id,
@@ -132,6 +137,10 @@ class TrustedThirdParty(TpnrParty):
     ) -> None:
         """Open (or re-open, after a crash) one pending resolve: journal
         it, query the counterparty, arm the retransmit loop + timeout."""
+        self.span_begin(
+            ("resolve", transaction_id), transaction_id, "ttp.resolve",
+            requester=requester, counterparty=counterparty,
+        )
         if self.journal is not None:
             self.journal.log(
                 "ttp.pending",
@@ -230,6 +239,7 @@ class TrustedThirdParty(TpnrParty):
             return
         pending.timeout_event.cancel()
         self.cancel_retransmit(("query", header.transaction_id))
+        self.span_end(("resolve", header.transaction_id), status="relayed")
         if self.journal is not None:
             self.journal.log("ttp.done", txn=header.transaction_id, outcome="relayed")
         result_header = self.make_header(
@@ -262,6 +272,10 @@ class TrustedThirdParty(TpnrParty):
             return
         self.cancel_retransmit(("query", transaction_id))
         self.failures_declared += 1
+        self.span_end(("resolve", transaction_id), status="failure-declared")
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("ttp.failures_declared").inc()
         if self.journal is not None:
             self.journal.log("ttp.done", txn=transaction_id, outcome="failure declared")
         failed_header = self.make_header(

@@ -9,8 +9,10 @@ computed over ``aad_len(8) || aad || nonce || ciphertext``.
 from __future__ import annotations
 
 import struct
+from time import perf_counter
 
 from ..errors import CryptoError, DecryptionError
+from . import instrument as _instrument
 from .chacha20 import KEY_SIZE, NONCE_SIZE
 from .chacha20_np import chacha20_xor  # vectorized; bit-identical to the reference
 from .hmac_ import constant_time_equals, hmac_digest
@@ -41,11 +43,15 @@ def seal(master: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> byt
     Returns ``nonce || ciphertext || tag``.  The caller must never reuse
     a nonce under the same key; protocol code draws nonces from a DRBG.
     """
+    observer = _instrument.observer
+    started = perf_counter() if observer is not None else 0.0
     if len(nonce) != NONCE_SIZE:
         raise CryptoError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
     enc_key, mac_key = derive_keys(master)
     ciphertext = chacha20_xor(enc_key, nonce, plaintext)
     tag = hmac_digest(mac_key, _tag_input(aad, nonce, ciphertext))
+    if observer is not None:
+        observer.crypto_call("aead.seal", perf_counter() - started)
     return nonce + ciphertext + tag
 
 
@@ -55,6 +61,17 @@ def open_(master: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
     Raises :class:`DecryptionError` on any tampering — of the
     ciphertext, the nonce, or the associated data.
     """
+    observer = _instrument.observer
+    if observer is None:
+        return _open(master, sealed, aad)
+    started = perf_counter()
+    try:
+        return _open(master, sealed, aad)
+    finally:
+        observer.crypto_call("aead.open", perf_counter() - started)
+
+
+def _open(master: bytes, sealed: bytes, aad: bytes) -> bytes:
     if len(sealed) < OVERHEAD:
         raise DecryptionError("sealed box too short")
     nonce = sealed[:NONCE_SIZE]

@@ -19,8 +19,10 @@ this changes nothing about protocol semantics (see DESIGN.md §2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..errors import CryptoError, DecryptionError, InvalidKeyError, SignatureError
+from . import instrument as _instrument
 from .drbg import HmacDrbg
 from .hashes import DIGEST_SIZES, digest
 from .numbers import bit_length_bytes, bytes_to_int, crt_pair, int_to_bytes, modinv
@@ -138,16 +140,32 @@ def _encode_digest_block(data_digest: bytes, hash_name: str, size: int) -> bytes
 
 def sign(key: RsaPrivateKey, message: bytes, hash_name: str = "sha256") -> bytes:
     """Sign *message* (hash-then-sign). Returns a modulus-sized blob."""
+    observer = _instrument.observer
+    started = perf_counter() if observer is not None else 0.0
     if hash_name not in DIGEST_SIZES:
         raise CryptoError(f"unknown hash algorithm: {hash_name!r}")
     block = _encode_digest_block(digest(hash_name, message), hash_name, key.size_bytes)
     m = bytes_to_int(block)
     s = key._private_op(m)
-    return int_to_bytes(s, key.size_bytes)
+    signature = int_to_bytes(s, key.size_bytes)
+    if observer is not None:
+        observer.crypto_call("rsa.sign", perf_counter() - started)
+    return signature
 
 
 def verify(key: RsaPublicKey, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
     """True iff *signature* is a valid signature of *message* under *key*."""
+    observer = _instrument.observer
+    if observer is None:
+        return _verify(key, message, signature, hash_name)
+    started = perf_counter()
+    try:
+        return _verify(key, message, signature, hash_name)
+    finally:
+        observer.crypto_call("rsa.verify", perf_counter() - started)
+
+
+def _verify(key: RsaPublicKey, message: bytes, signature: bytes, hash_name: str) -> bool:
     if hash_name not in DIGEST_SIZES:
         raise CryptoError(f"unknown hash algorithm: {hash_name!r}")
     if len(signature) != key.size_bytes:

@@ -82,12 +82,24 @@ class PartyJournal:
         self.wal.append({"type": record_type, **fields})
         self.records_logged += 1
         self._since_snapshot += 1
+        party = self._party
+        if party is not None:
+            obs = party.obs
+            if obs.enabled:
+                obs.metrics.counter(
+                    "wal.records", party=party.name, type=record_type
+                ).inc()
 
     def write_snapshot(self) -> None:
         state = capture_state(self._party, self.role)
         self.wal.append({"type": "snapshot", "state": state.to_dict()})
         self.snapshots_written += 1
         self._since_snapshot = 0
+        party = self._party
+        if party is not None:
+            obs = party.obs
+            if obs.enabled:
+                obs.metrics.counter("wal.snapshots", party=party.name).inc()
 
     # -- the record vocabulary ----------------------------------------------
 

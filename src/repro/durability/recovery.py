@@ -91,12 +91,50 @@ def recover(party: "TpnrParty", resume: bool = True) -> RecoveryReport:
     report.transactions = len(party.transactions)
     report.evidence_restored = len(party.evidence_store)
     party.recoveries += 1
+    obs = party.obs
+    spans = {}
+    if obs.enabled:
+        # One recovery span per restored in-flight transaction, parented
+        # under that transaction's root — the tracer lives on the
+        # network, so the tree survived the amnesia wipe that just
+        # destroyed the party's own state.  Terminal transactions are
+        # restored too but get no span: across a long campaign every
+        # restart would otherwise re-annotate every historical trace.
+        for txn in sorted(party.transactions):
+            if party.transactions[txn].status in (
+                TxStatus.PENDING,
+                TxStatus.RESOLVING,
+            ) and obs.tracer.root(txn) is not None:
+                spans[txn] = obs.tracer.start(
+                    txn, f"recovery.{role}",
+                    party=party.name,
+                    records_replayed=report.records_replayed,
+                    snapshots=report.snapshots_seen,
+                    tail_truncated=report.tail_truncated,
+                )
     if resume:
         if role == "client":
             _resume_client(party, report)
         elif role == "ttp":
             _resume_ttp(party, state, report)
         # provider: reactive role; restored state is the whole job.
+    if obs.enabled:
+        for action in report.actions:
+            # Actions read "<what>: <transaction id>"; annotate the span
+            # of the transaction they acted on.
+            what, _, txn = action.rpartition(": ")
+            span = spans.get(txn)
+            if span is not None:
+                span.event(party.now, f"recovery:{what}")
+        for span in spans.values():
+            obs.tracer.finish(span, status="ok")
+        obs.metrics.counter("recovery.runs", role=role).inc()
+        obs.metrics.counter("recovery.resumed", role=role).inc(report.resumed)
+        obs.metrics.counter("recovery.escalated", role=role).inc(report.escalated)
+        obs.metrics.histogram(
+            "recovery.wal_replay_records",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+        ).observe(report.records_replayed)
     return report
 
 

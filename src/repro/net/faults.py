@@ -426,6 +426,10 @@ class CampaignOutcome:
     recoveries: int = 0
     resumed: int = 0  # in-flight work re-sent by recovery
     escalated: int = 0  # in-flight work escalated to Resolve/FAILED
+    # Telemetry fields for the per-fault-class breakdown; deliberately
+    # NOT part of row(), so report signatures stay comparable with PR 1.
+    elapsed: float = 0.0  # sim-clock seconds this plan's session took
+    wal_replayed: int = 0  # WAL records replayed across its recoveries
     violations: tuple[str, ...] = ()
 
     @property
@@ -481,6 +485,7 @@ class CampaignReport:
 
     def render(self) -> str:
         from ..analysis.report import render_kv, render_table  # lazy: net must not import analysis at import time
+        from ..obs.campaign import breakdown_table  # lazy, same reason
 
         table = render_table(
             self.HEADERS,
@@ -496,7 +501,8 @@ class CampaignReport:
             ],
             title="summary",
         )
-        return f"{table}\n{summary}"
+        breakdown = breakdown_table(self)
+        return f"{table}\n{summary}\n{breakdown}"
 
     def signature(self) -> str:
         """Stable digest of the outcome table — two campaigns with the
@@ -522,6 +528,7 @@ class CampaignRunner:
         scenario: str = "session",
         payload_range: tuple[int, int] = (64, 512),
         durable: bool = False,
+        observe: bool = False,
     ) -> None:
         if scenario not in ("session", "upload", "abort"):
             raise ValueError(f"unknown scenario {scenario!r}")
@@ -529,6 +536,8 @@ class CampaignRunner:
         self.scenario = scenario
         self.payload_range = payload_range
         self.durable = durable
+        self.observe = observe
+        self.deployment = None  # the shared deployment, exposed after run()
         self._rng = HmacDrbg(seed, personalization=b"fault-campaign")
 
     def run(self, plans: list[FaultPlan]) -> CampaignReport:
@@ -540,8 +549,11 @@ class CampaignRunner:
         )
 
         dep = make_deployment(
-            seed=self.seed.encode("latin-1") + b"/campaign", durable=self.durable
+            seed=self.seed.encode("latin-1") + b"/campaign",
+            durable=self.durable,
+            observe=self.observe,
         )
+        self.deployment = dep
         report = CampaignReport(seed=self.seed, scenario=self.scenario)
         lo, hi = self.payload_range
         for index, plan in enumerate(plans):
@@ -549,6 +561,7 @@ class CampaignRunner:
             injector = FaultInjector(plan)
             dep.network.install_adversary(injector)
             injector.reset(epoch=dep.sim.now)
+            started_at = dep.sim.now
             before = self._counters(dep)
             if self.scenario == "abort":
                 outcome = run_abort(dep, payload)
@@ -577,9 +590,17 @@ class CampaignRunner:
                     recoveries=injector.recoveries,
                     resumed=sum(r.resumed for r in injector.recovery_reports),
                     escalated=sum(r.escalated for r in injector.recovery_reports),
+                    elapsed=dep.sim.now - started_at,
+                    wal_replayed=sum(
+                        r.records_replayed for r in injector.recovery_reports
+                    ),
                     violations=tuple(violations),
                 )
             )
+        if dep.obs.enabled:
+            from ..obs.campaign import record_campaign_metrics  # lazy: see render()
+
+            record_campaign_metrics(report, dep.obs.metrics)
         return report
 
     # -- bookkeeping ---------------------------------------------------------

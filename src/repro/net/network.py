@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..crypto.drbg import HmacDrbg
 from ..errors import DeliveryError
+from ..obs import NULL_OBS
 from .channel import PERFECT, ChannelSpec
 from .events import Simulator
 from .trace import TraceEvent, TraceRecorder
@@ -71,6 +72,10 @@ class Network:
         self.trace = TraceRecorder()
         self.adversary: "Adversary | None" = None
         self._msg_ids = itertools.count(1)
+        # The observability seat: NULL_OBS (a shared no-op) unless a
+        # deployment built with observe=True installs a live
+        # repro.obs.Observability.  Nodes reach it via ``self.obs``.
+        self.obs = NULL_OBS
 
     # -- topology ------------------------------------------------------------
 
@@ -126,6 +131,10 @@ class Network:
         self.trace.record(
             TraceEvent(self.sim.now, "send", src, dst, kind, envelope.size_bytes, envelope.msg_id)
         )
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("net.messages_sent", kind=kind).inc()
+            obs.metrics.counter("net.bytes_sent", kind=kind).inc(envelope.size_bytes)
         if self.adversary is not None and self.adversary.in_position(envelope):
             self.adversary.on_intercept(envelope)
             return envelope
@@ -144,6 +153,9 @@ class Network:
                     note=f"channel drop_prob={spec.drop_prob}",
                 )
             )
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.counter("net.dropped", reason="channel").inc()
             return
         for delivery in deliveries:
             delivered = replace(envelope, corrupted=envelope.corrupted or delivery.corrupted)
@@ -164,6 +176,9 @@ class Network:
                     note="destination down (crashed)",
                 )
             )
+            obs = self.obs
+            if obs.enabled:
+                obs.metrics.counter("net.dropped", reason="crashed").inc()
             return
         action = "corrupt" if envelope.corrupted else "deliver"
         self.trace.record(
@@ -172,6 +187,12 @@ class Network:
                 envelope.kind, envelope.size_bytes, envelope.msg_id,
             )
         )
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("net.delivered", kind=envelope.kind).inc()
+            obs.metrics.histogram("net.delivery_latency_seconds").observe(
+                self.sim.now - envelope.sent_at
+            )
         node.on_message(envelope)
 
     # -- adversary API ---------------------------------------------------------

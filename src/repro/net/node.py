@@ -43,6 +43,17 @@ class Node:
     def now(self) -> float:
         return self.network.sim.now
 
+    @property
+    def obs(self):
+        """The network's observability seat (a shared no-op when the
+        node is unattached or observation is off)."""
+        network = self._network
+        if network is None:
+            from ..obs import NULL_OBS  # lazy: nodes exist before attachment
+
+            return NULL_OBS
+        return network.obs
+
     # -- I/O --------------------------------------------------------------------
 
     def send(self, dst: str, kind: str, payload: Any) -> "Envelope":

@@ -9,9 +9,10 @@ where traditional NR takes 4" comparison (paper §4.4, DESIGN.md S4).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["TraceEvent", "TraceRecorder", "FaultNote", "parse_fault_note"]
 
 
 @dataclass(frozen=True)
@@ -94,3 +95,79 @@ class TraceRecorder:
         """Ordered (src, dst, kind) triples — compared against the
         figure-6 flows in tests and benchmarks."""
         return [(e.src, e.dst, e.kind) for e in self.events if e.action == action]
+
+    def fault_notes(self) -> list["FaultNote"]:
+        """Every ``fault.*`` decision's note, parsed into a
+        :class:`FaultNote` (unparseable notes are skipped)."""
+        out = []
+        for event in self.faults():
+            parsed = parse_fault_note(event.note)
+            if parsed is not None:
+                out.append(parsed)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Structured fault notes
+# ---------------------------------------------------------------------------
+
+# The two note shapes the fault injector writes (repro.net.faults):
+#   "plan=<name> rule=<i> action=<a>"        — a FaultRule decision
+#   "plan=<name> <kind>(<node> @<s>s +<d>s)" — a CrashWindow mark, with
+#                                              kind "crash"/"amnesia-crash"
+_RULE_NOTE = re.compile(r"^plan=(?P<plan>\S+) rule=(?P<rule>\d+) action=(?P<action>\S+)$")
+_WINDOW_NOTE = re.compile(
+    r"^plan=(?P<plan>\S+) (?P<kind>amnesia-crash|crash)"
+    r"\((?P<node>\S+) @(?P<start>[-+0-9.e]+)s \+(?P<duration>[-+0-9.e]+)s\)$"
+)
+
+
+@dataclass(frozen=True)
+class FaultNote:
+    """A fault-injection note parsed back into its structured form.
+
+    Rule decisions have ``rule``/``action`` set; crash-window marks
+    have ``node``/``start``/``duration`` set with ``action`` holding
+    the window kind.  :meth:`render` reproduces the exact note string,
+    so ``parse_fault_note(note).render() == note`` round-trips.
+    """
+
+    plan: str
+    action: str
+    rule: int | None = None
+    node: str = ""
+    start: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def is_crash_window(self) -> bool:
+        return bool(self.node)
+
+    def render(self) -> str:
+        if self.is_crash_window:
+            return (
+                f"plan={self.plan} {self.action}"
+                f"({self.node} @{self.start:g}s +{self.duration:g}s)"
+            )
+        return f"plan={self.plan} rule={self.rule} action={self.action}"
+
+
+def parse_fault_note(note: str) -> FaultNote | None:
+    """Parse one fault note; ``None`` if *note* is not a fault note."""
+    match = _RULE_NOTE.match(note)
+    if match:
+        return FaultNote(
+            plan=match["plan"],
+            action=match["action"],
+            rule=int(match["rule"]),
+        )
+    match = _WINDOW_NOTE.match(note)
+    if match:
+        return FaultNote(
+            plan=match["plan"],
+            action=match["kind"],
+            node=match["node"],
+            start=float(match["start"]),
+            duration=float(match["duration"]),
+        )
+    return None

@@ -1,0 +1,124 @@
+"""repro.obs — the cross-cutting observability layer.
+
+One :class:`Observability` object per observed deployment bundles the
+three telemetry surfaces:
+
+* ``obs.metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms; sim-clock-stamped);
+* ``obs.tracer`` — a :class:`~repro.obs.span.Tracer` recording
+  parent-linked span trees per TPNR transaction (trace id = txn id,
+  span events carry envelope ``msg_id`` for correlation with the
+  wire-level :class:`~repro.net.trace.TraceRecorder`);
+* crypto hooks — :func:`~repro.obs.instrument.observe_crypto` scopes
+  RSA/AEAD call-count + wall-time accounting to a block.
+
+Everything hangs off the network: ``make_deployment(observe=True)``
+seats a live Observability on ``Network.obs`` and every node reaches it
+through ``self.obs``.  When observation is off, that seat holds
+:data:`NULL_OBS`, whose ``enabled`` is ``False`` and whose registry and
+tracer are shared no-ops — instrumented code guards with::
+
+    obs = self.obs
+    if obs.enabled:
+        obs.metrics.counter("...").inc()
+
+so the disabled cost is one attribute load and one branch
+(``benchmarks/bench_observability.py`` proves the bound).
+
+Exporters (:mod:`repro.obs.exporters`) turn either surface into JSONL,
+Prometheus text, or human-readable tables;
+:mod:`repro.obs.campaign` folds FC1/CR1 campaign reports into
+per-fault-class retry/escalation/latency breakdowns.
+"""
+
+from __future__ import annotations
+
+from . import campaign, exporters, instrument, metrics, span
+from .campaign import breakdown_table, class_breakdown, fault_class, record_campaign_metrics
+from .exporters import (
+    metrics_jsonl,
+    prometheus_text,
+    span_tree_text,
+    spans_jsonl,
+    summary_table,
+)
+from .instrument import CryptoObserver, observe_crypto
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .span import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "campaign",
+    "exporters",
+    "instrument",
+    "metrics",
+    "span",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CryptoObserver",
+    "observe_crypto",
+    "spans_jsonl",
+    "metrics_jsonl",
+    "prometheus_text",
+    "summary_table",
+    "span_tree_text",
+    "fault_class",
+    "class_breakdown",
+    "breakdown_table",
+    "record_campaign_metrics",
+]
+
+
+class Observability:
+    """The per-deployment bundle of metrics registry + tracer."""
+
+    enabled = True
+
+    def __init__(self, clock=None) -> None:
+        self.metrics = MetricsRegistry(clock)
+        self.tracer = Tracer(clock)
+
+    def observe_crypto(self):
+        """Scope crypto hot-path accounting to a ``with`` block."""
+        return observe_crypto(self.metrics)
+
+    def spans_jsonl(self) -> str:
+        return spans_jsonl(self.tracer)
+
+    def metrics_jsonl(self, deterministic_only: bool = False) -> str:
+        return metrics_jsonl(self.metrics, deterministic_only)
+
+    def prometheus_text(self) -> str:
+        return prometheus_text(self.metrics)
+
+    def summary_table(self, title: str = "Metrics summary") -> str:
+        return summary_table(self.metrics, title)
+
+
+class NullObservability(Observability):
+    """The disabled bundle: shared no-op registry and tracer."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NULL_METRICS
+        self.tracer = NULL_TRACER
+
+
+NULL_OBS = NullObservability()

@@ -1,0 +1,57 @@
+"""Crypto hot-path instrumentation.
+
+:class:`CryptoObserver` counts RSA sign/verify and AEAD seal/open calls
+and accumulates their *real* wall time (``time.perf_counter``) into a
+metrics registry.  Call counts are deterministic per seed; wall times
+are not — the wall-time series are registered as non-deterministic so
+:meth:`MetricsRegistry.deterministic_snapshot` stays seed-stable.
+
+The observer is installed into the process-wide seat
+:data:`repro.crypto.instrument.observer` (a leaf module the crypto code
+checks with one ``is None`` test).  Because the seat is global, use the
+:func:`observe_crypto` context manager to scope it to one run; nesting
+restores the previous observer on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .metrics import MetricsRegistry
+
+__all__ = ["CryptoObserver", "observe_crypto", "CRYPTO_OPS"]
+
+# The four instrumented operations, as reported by the hot paths.
+CRYPTO_OPS = ("rsa.sign", "rsa.verify", "aead.seal", "aead.open")
+
+
+class CryptoObserver:
+    """Accumulates crypto call counts + wall time into a registry."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+        metrics.mark_nondeterministic("crypto.wall_seconds")
+
+    def crypto_call(self, op: str, wall_seconds: float) -> None:
+        self.metrics.counter("crypto.calls", op=op).inc()
+        self.metrics.counter("crypto.wall_seconds", op=op).inc(wall_seconds)
+
+    def calls(self, op: str) -> float:
+        return self.metrics.counter("crypto.calls", op=op).value
+
+    def wall_seconds(self, op: str) -> float:
+        return self.metrics.counter("crypto.wall_seconds", op=op).value
+
+
+@contextlib.contextmanager
+def observe_crypto(metrics: MetricsRegistry):
+    """Install a :class:`CryptoObserver` for the duration of a block."""
+    from ..crypto import instrument as seat  # lazy: keep obs a leaf at import time
+
+    observer = CryptoObserver(metrics)
+    previous = seat.observer
+    seat.set_observer(observer)
+    try:
+        yield observer
+    finally:
+        seat.set_observer(previous)

@@ -1,0 +1,58 @@
+"""TTP role derivation for trace metrics (ISSUE 3 satellite).
+
+``measure`` must attribute TTP traffic from the deployment — any node
+whose class declares ``is_ttp = True`` — instead of hardcoded names,
+with explicit ``ttp_names`` taking priority and the legacy name list
+only covering bare traces.
+"""
+
+from repro.analysis.metrics import LEGACY_TTP_NAMES, infer_ttp_names, measure
+from repro.core.protocol import make_deployment, run_session
+from repro.net.trace import TraceEvent, TraceRecorder
+
+
+def trace_to(dst):
+    recorder = TraceRecorder()
+    recorder.record(TraceEvent(0.0, "send", "alice", dst, "tpnr.x", 64, 1))
+    return recorder
+
+
+class TestInferTtpNames:
+    def test_tpnr_deployment_declares_its_ttp(self):
+        dep = make_deployment(seed=b"ttp-infer")
+        names = infer_ttp_names(dep.network)
+        assert names == ("ttp",)
+        assert getattr(dep.network.node("ttp"), "is_ttp", False) is True
+        assert not getattr(dep.network.node("alice"), "is_ttp", False)
+
+    def test_ttp_classes_declare_the_role(self):
+        from repro.baselines.zhou_gollmann import ZgClient, ZgOnlineTtp, ZgProvider
+        from repro.core.ttp import TrustedThirdParty
+
+        assert TrustedThirdParty.is_ttp is True
+        assert ZgOnlineTtp.is_ttp is True
+        assert not getattr(ZgClient, "is_ttp", False)
+        assert not getattr(ZgProvider, "is_ttp", False)
+
+
+class TestMeasureAttribution:
+    def test_network_derivation_beats_name_guessing(self):
+        dep = make_deployment(seed=b"ttp-measure")
+        outcome = run_session(dep, b"payload")
+        assert outcome is not None
+        cost = measure(dep.network.trace, "tpnr", "tpnr.", network=dep.network)
+        # Happy-path TPNR never touches the TTP — derived, not guessed.
+        assert not cost.uses_ttp
+
+    def test_explicit_names_take_priority_over_network(self):
+        dep = make_deployment(seed=b"ttp-priority")
+        trace = trace_to("arbiter")
+        assert measure(trace, "x", ttp_names=("arbiter",),
+                       network=dep.network).uses_ttp
+        assert not measure(trace, "x", network=dep.network).uses_ttp
+
+    def test_bare_traces_fall_back_to_legacy_names(self):
+        assert LEGACY_TTP_NAMES == ("ttp", "zg-ttp")
+        assert measure(trace_to("ttp"), "x").uses_ttp
+        assert measure(trace_to("zg-ttp"), "x").uses_ttp
+        assert not measure(trace_to("carol"), "x").uses_ttp

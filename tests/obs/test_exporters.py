@@ -1,0 +1,94 @@
+"""Exporters: JSONL, Prometheus text exposition, human tables."""
+
+import json
+
+from repro.obs.exporters import (
+    metrics_jsonl,
+    prometheus_text,
+    span_tree_text,
+    spans_jsonl,
+    summary_table,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+
+def seeded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(clock=lambda: 2.5)
+    reg.counter("msgs.sent", kind="tpnr.data+nro").inc(3)
+    reg.gauge("journal.pending").set(2)
+    h = reg.histogram("latency.seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+class TestJsonl:
+    def test_spans_jsonl_one_valid_object_per_span(self):
+        t = Tracer()
+        root = t.start("txn", "root")
+        t.start("txn", "child")
+        t.finish(root)
+        lines = spans_jsonl(t).splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["span_id"] for p in parsed] == [1, 2]
+        assert all(p["trace_id"] == "txn" for p in parsed)
+
+    def test_metrics_jsonl_and_deterministic_filter(self):
+        reg = seeded_registry()
+        reg.counter("crypto.wall_seconds").inc(0.01)
+        reg.mark_nondeterministic("crypto.wall_seconds")
+        all_names = {json.loads(l)["name"] for l in metrics_jsonl(reg).splitlines()}
+        det_names = {
+            json.loads(l)["name"]
+            for l in metrics_jsonl(reg, deterministic_only=True).splitlines()
+        }
+        assert "crypto.wall_seconds" in all_names
+        assert "crypto.wall_seconds" not in det_names
+        assert {"msgs.sent", "journal.pending", "latency.seconds"} <= det_names
+
+
+class TestPrometheusText:
+    def test_counters_gauges_and_sanitized_names(self):
+        text = prometheus_text(seeded_registry())
+        assert "# TYPE msgs_sent counter" in text
+        assert 'msgs_sent{kind="tpnr.data+nro"} 3' in text
+        assert "# TYPE journal_pending gauge" in text
+        assert "journal_pending 2" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        lines = prometheus_text(seeded_registry()).splitlines()
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="1"} 2' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in lines
+        assert "latency_seconds_count 3" in lines
+        assert any(l.startswith("latency_seconds_sum ") for l in lines)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestHumanRenderings:
+    def test_summary_table_lists_every_instrument(self):
+        text = summary_table(seeded_registry(), title="obs test")
+        assert "obs test" in text
+        for name in ("msgs.sent", "journal.pending", "latency.seconds"):
+            assert name in text
+        assert "n=3" in text  # histogram headline
+
+    def test_span_tree_text_indents_children_and_events(self):
+        t = Tracer()
+        root = t.start("txn-9", "tpnr.transaction")
+        child = t.start("txn-9", "provider.upload")
+        child.event(1.0, "receipt sent", msg_id=4)
+        t.finish(child)
+        t.finish(root)
+        text = span_tree_text(t, "txn-9")
+        assert text.splitlines()[0] == "trace txn-9"
+        assert "- tpnr.transaction" in text
+        assert "  - provider.upload" in text
+        assert "receipt sent msg#4" in text
+
+    def test_span_tree_text_empty_trace(self):
+        assert "no spans" in span_tree_text(Tracer(), "missing")

@@ -13,7 +13,8 @@ class TestParser:
     def test_all_commands_parse(self):
         parser = build_parser()
         for argv in (["list"], ["experiment", "F5"], ["gauntlet"], ["demo"],
-                     ["workload", "--clients", "2"]):
+                     ["workload", "--clients", "2"], ["obs"],
+                     ["obs", "--seed", "s", "--dump-dir", "/tmp/x"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -58,5 +59,21 @@ class TestCommands:
     def test_experiment_registry_complete(self):
         """Every experiment id documented in DESIGN.md §4 is runnable."""
         for expected in ("T1", "F1", "F2", "F3", "F4", "F5", "F6",
-                         "S3", "S4", "S5", "S6", "W1", "R1", "A1"):
+                         "S3", "S4", "S5", "S6", "W1", "R1", "A1", "OB1"):
             assert expected in EXPERIMENTS
+
+    def test_obs(self, capsys):
+        assert main(["obs", "--seed", "cli-obs"]) == 0
+        out = capsys.readouterr().out
+        assert "trace TXN-" in out  # the span tree
+        assert "tree complete" in out and "telemetry ok" in out
+
+    def test_obs_dump_dir(self, capsys, tmp_path):
+        import json
+
+        assert main(["obs", "--seed", "cli-obs", "--dump-dir", str(tmp_path)]) == 0
+        spans = (tmp_path / "spans.jsonl").read_text().splitlines()
+        assert spans and all("trace_id" in json.loads(line) for line in spans)
+        metrics = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        assert metrics and all("name" in json.loads(line) for line in metrics)
+        assert "# TYPE" in (tmp_path / "metrics.prom").read_text()
