@@ -44,6 +44,36 @@ def emit(results_dir):
     return _emit
 
 
+@pytest.fixture
+def perf_trajectory(results_dir):
+    """Record one performance-trajectory point in BENCH_PERF.json.
+
+    The file is a list of entries keyed by ``(experiment_id,
+    repo_version)``; re-running a bench at the same version replaces
+    its point instead of appending a duplicate, so the list reads as
+    one point per version — the repo's perf history over releases.
+    """
+
+    def _record(entry: dict) -> pathlib.Path:
+        return append_perf_entry(results_dir, entry)
+
+    return _record
+
+
+def append_perf_entry(results_dir: pathlib.Path, entry: dict) -> pathlib.Path:
+    path = results_dir / "BENCH_PERF.json"
+    entries = json.loads(path.read_text()) if path.exists() else []
+    key = (entry.get("experiment_id"), entry.get("repo_version"))
+    entries = [
+        e for e in entries
+        if (e.get("experiment_id"), e.get("repo_version")) != key
+    ]
+    entries.append(entry)
+    entries.sort(key=lambda e: (str(e.get("experiment_id")), str(e.get("repo_version"))))
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True, default=repr) + "\n")
+    return path
+
+
 def write_json(results_dir: pathlib.Path, result) -> None:
     """Machine-readable twin of the .txt artifact.  Every record carries
     the run metadata (seed, repo version, sim-clock duration when one

@@ -70,6 +70,7 @@ __all__ = [
     "experiment_crash_recovery",
     "experiment_evidence_ablation",
     "experiment_observability",
+    "experiment_throughput",
 ]
 
 
@@ -1031,4 +1032,88 @@ def experiment_observability(seed: bytes = b"exp/ob1") -> ExperimentResult:
         "deterministic, with wall-clock crypto timings quarantined as "
         "nondeterministic.",
         meta=run_meta(seed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# TP1 — multi-tenant throughput engine
+# ---------------------------------------------------------------------------
+
+def experiment_throughput(seed: bytes = b"exp/tp1") -> ExperimentResult:
+    """The §6 open question, instrumented: drive concurrent TPNR
+    sessions through the :mod:`repro.engine` pool and check the three
+    properties the engine claims.
+
+    * **Correctness under concurrency** — every session at every sweep
+      point completes its upload and verifies its download, and the TTP
+      is never contacted (Normal mode stays off-line-TTP no matter how
+      many tenants interleave).
+    * **Determinism** — two same-seed runs produce byte-identical
+      result signatures (per-tenant named DRBG streams, explicit
+      transaction IDs).
+    * **Cache transparency** — enabling the :mod:`repro.crypto.cache`
+      bundle leaves the signature byte-identical while the
+      verification cache records real hits (it saves work without
+      changing any simulated behavior).
+
+    Wall-clock transactions/sec is reported in ``meta`` only — it is
+    real compute, hence nondeterministic; the asserted facts are all
+    simulation outputs.
+    """
+    from ..engine import run_pool
+
+    tenant_counts = (2, 8, 16)
+    rows = []
+    facts: dict[str, Any] = {}
+    tx_per_sec: dict[int, float] = {}
+    all_ok = True
+    ttp_quiet = True
+    verify_hits_total = 0
+    for n in tenant_counts:
+        result = run_pool(seed, n)
+        stats = result.cache_stats or {}
+        verify = stats.get("verify", {})
+        verify_hits_total += int(verify.get("hits", 0))
+        ok = result.completed == len(result.sessions) == result.verified == n
+        all_ok = all_ok and ok
+        ttp_quiet = ttp_quiet and result.ttp_stats["resolves_handled"] == 0
+        tx_per_sec[n] = round(result.tx_per_sec, 1)
+        rows.append([
+            n,
+            result.completed,
+            result.verified,
+            result.messages_sent,
+            result.bytes_on_wire,
+            f"{result.p50_latency:.4f}",
+            f"{result.p99_latency:.4f}",
+            f"{float(verify.get('hit_rate', 0.0)):.3f}",
+        ])
+    # Determinism + cache transparency at one point, three runs: same
+    # seed cached, same seed cached again, same seed uncached.
+    probe = 8
+    sig_cached = run_pool(seed, probe).signature()
+    sig_again = run_pool(seed, probe).signature()
+    sig_uncached = run_pool(seed, probe, use_caches=False).signature()
+    facts["all_sessions_completed_and_verified"] = all_ok
+    facts["ttp_untouched"] = ttp_quiet
+    facts["verify_cache_hits_positive"] = verify_hits_total > 0
+    facts["same_seed_signature_identical"] = sig_cached == sig_again
+    facts["cache_toggle_signature_identical"] = sig_cached == sig_uncached
+    meta = run_meta(seed)
+    meta["wall_tx_per_sec"] = tx_per_sec  # real compute: nondeterministic
+    return ExperimentResult(
+        experiment_id="TP1",
+        title="Extension — multi-tenant throughput engine (paper §6 open work)",
+        headers=["tenants", "completed", "verified", "messages", "bytes on wire",
+                 "p50 latency (sim s)", "p99 latency (sim s)", "verify-cache hit rate"],
+        rows=rows,
+        facts=facts,
+        notes="N clients share one provider/TTP/network; per-tenant named DRBG "
+        "streams and explicit transaction IDs keep every run byte-identical "
+        "per seed.  The crypto caches (signature verification, deterministic "
+        "signing, per-peer KEM session keys) change wall-clock cost only: the "
+        "result signature — session rows, wire accounting, party tallies — is "
+        "identical with caches on or off.  Throughput vs the uncached "
+        "sequential baseline is measured in benchmarks/bench_throughput.py.",
+        meta=meta,
     )

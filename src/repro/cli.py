@@ -18,6 +18,10 @@ Commands
     Run one observed TPNR session and print (or dump) its telemetry:
     the span tree, the metrics summary, and — with ``--dump-dir`` —
     ``spans.jsonl`` / ``metrics.jsonl`` / ``metrics.prom`` files.
+``throughput [--tenants N...] [--baseline M] [--no-caches] [--seed S]``
+    Sweep the multi-tenant session engine over tenant counts, print
+    wall tx/sec and sim-time latency percentiles per point, and compare
+    against the uncached one-deployment-per-transaction baseline.
 """
 
 from __future__ import annotations
@@ -63,6 +67,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
     "CR1": (exp.experiment_crash_recovery, "extension — amnesia-crash recovery campaign"),
     "OB1": (exp.experiment_observability, "extension — observability span trees + metrics"),
+    "TP1": (exp.experiment_throughput, "extension — multi-tenant throughput engine"),
 }
 
 
@@ -193,6 +198,48 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    """Sweep the session engine and compare against the baseline."""
+    from .engine import TenantDirectory, run_baseline, run_pool
+
+    seed = args.seed.encode()
+    tenant_counts = tuple(args.tenants)
+    use_caches = not args.no_caches
+    directory = TenantDirectory(seed)
+    directory.warm(["bob", "ttp", *[f"tenant-{i:04d}" for i in range(max(tenant_counts))]])
+    rows = []
+    all_ok = True
+    for n in tenant_counts:
+        result = run_pool(seed, n, directory=directory, use_caches=use_caches)
+        stats = result.cache_stats or {}
+        verify = stats.get("verify", {})
+        all_ok = all_ok and result.completed == result.verified == len(result.sessions)
+        rows.append([
+            n, result.completed, result.verified,
+            f"{result.tx_per_sec:.1f}",
+            f"{result.p50_latency:.4f}", f"{result.p99_latency:.4f}",
+            f"{float(verify.get('hit_rate', 0.0)):.3f}",
+        ])
+    print(render_table(
+        ["tenants", "completed", "verified", "tx/sec (wall)",
+         "p50 (sim s)", "p99 (sim s)", "verify-cache hit rate"],
+        rows,
+        title=f"Throughput sweep (caches {'on' if use_caches else 'off'}, "
+        f"seed={args.seed!r})",
+    ))
+    if args.baseline > 0:
+        baseline = run_baseline(seed, args.baseline)
+        print(render_kv(
+            [
+                ("baseline transactions", baseline.transactions),
+                ("baseline tx/sec (wall)", f"{baseline.tx_per_sec:.2f}"),
+                ("note", "one fresh uncached deployment per transaction"),
+            ],
+            title="Sequential baseline",
+        ))
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -229,6 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_o.add_argument("--dump-dir", default="",
                      help="directory for spans.jsonl / metrics.jsonl / metrics.prom")
     p_o.set_defaults(func=_cmd_obs)
+
+    p_t = sub.add_parser("throughput", help="sweep the multi-tenant session engine")
+    p_t.add_argument("--tenants", type=int, nargs="+", default=[1, 10, 50],
+                     help="tenant counts to sweep")
+    p_t.add_argument("--baseline", type=int, default=5,
+                     help="sequential-baseline transaction count (0 to skip)")
+    p_t.add_argument("--no-caches", action="store_true",
+                     help="disable the crypto caches (signature/KEM)")
+    p_t.add_argument("--seed", default="cli", help="determinism seed")
+    p_t.set_defaults(func=_cmd_throughput)
     return parser
 
 

@@ -84,6 +84,11 @@ class TpnrClient(TpnrParty):
         self.uploads: dict[str, UploadHandle] = {}
         self.downloads: dict[str, DownloadResult] = {}
         self.resolve_outcomes: dict[str, str] = {}
+        # Harness hook: called with the DownloadResult once a download
+        # reaches a terminal outcome (data verified, tampering found,
+        # hash mismatch, or timeout).  The throughput engine uses it to
+        # close out a tenant's session without polling.
+        self.on_download_complete = None
 
     def _wipe_role_state(self) -> None:
         # resolve_outcomes survives: it is the harness's notebook, not
@@ -95,12 +100,25 @@ class TpnrClient(TpnrParty):
     # Upload (Normal mode, message 1 of 2)
     # ------------------------------------------------------------------
 
-    def upload(self, provider: str, data: bytes, auto_resolve: bool = True) -> str:
+    def upload(
+        self,
+        provider: str,
+        data: bytes,
+        auto_resolve: bool = True,
+        transaction_id: str | None = None,
+    ) -> str:
         """Start an upload transaction; returns the transaction ID.
 
         Sends ``{header, data, NRO}`` and arms the response time-out.
+        An explicit *transaction_id* lets deterministic harnesses (the
+        throughput engine) avoid the process-global ID counter, whose
+        value depends on how many transactions ran earlier in the
+        process.
         """
-        transaction_id = new_transaction_id()
+        if transaction_id is None:
+            transaction_id = new_transaction_id()
+        elif transaction_id in self.transactions:
+            raise ProtocolError(f"transaction {transaction_id!r} already exists")
         data_hash = digest("sha256", data)
         header = self.make_header(Flag.UPLOAD, provider, transaction_id, data_hash)
         message = self.make_message(header, data=data)
@@ -252,6 +270,8 @@ class TpnrClient(TpnrParty):
             self.cancel_retransmit(("download", transaction_id))
             result.detail = "timeout waiting for download response"
             self.span_end(("download", transaction_id), status="timeout")
+            if self.on_download_complete is not None:
+                self.on_download_complete(result)
             if self.uploads[transaction_id].auto_resolve and self.ttp_name:
                 self.start_resolve(transaction_id, report="no download response before time-out")
 
@@ -497,6 +517,8 @@ class TpnrClient(TpnrParty):
             result.detail = "served data does not match its own signed hash"
             self._journal_download_result(result)
             self.span_end(("download", transaction_id), status="hash-mismatch")
+            if self.on_download_complete is not None:
+                self.on_download_complete(result)
             return
         result.data = data
         if served_hash == handle.data_hash:
@@ -520,6 +542,8 @@ class TpnrClient(TpnrParty):
             ("download", transaction_id),
             status="tampering-detected" if result.tampering_detected else "ok",
         )
+        if self.on_download_complete is not None:
+            self.on_download_complete(result)
 
     def _journal_download_result(self, result: DownloadResult) -> None:
         if self.journal is not None:

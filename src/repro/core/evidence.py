@@ -94,7 +94,11 @@ def build_evidence(
     packed = _pack(sig_data, sig_header)
     if not encrypt:
         return b"PLAIN" + packed
-    return b"ENC--" + kem.hybrid_encrypt(recipient_public, packed, rng, aad=b"tpnr-evidence")
+    # cache_scope=sender.name lets an installed crypto cache reuse this
+    # sender's per-recipient session key (a no-op when no cache is on).
+    return b"ENC--" + kem.hybrid_encrypt(
+        recipient_public, packed, rng, aad=b"tpnr-evidence", cache_scope=sender.name
+    )
 
 
 def open_evidence(

@@ -94,6 +94,11 @@ class TpnrParty(Node):
         # ("resolve", txn).  Volatile on purpose: an amnesia crash
         # closes them (status "crashed") and wipes the map.
         self._obs_spans: dict[Hashable, object] = {}
+        # Harness hook: called with the TransactionRecord whenever one
+        # of this party's transactions reaches a terminal status.  The
+        # throughput engine chains follow-up work (downloads, latency
+        # accounting) from here without polling the simulator.
+        self.on_txn_terminal: Callable[[TransactionRecord], None] | None = None
 
     # -- durability ----------------------------------------------------------
 
@@ -181,6 +186,8 @@ class TpnrParty(Node):
                 obs.metrics.histogram("txn.duration_seconds").observe(
                     self.now - record.started_at
                 )
+        if self.on_txn_terminal is not None:
+            self.on_txn_terminal(record)
 
     def begin_crash(self, amnesia: bool = False) -> None:
         """The process dies.  Always kill the retransmission loops (a

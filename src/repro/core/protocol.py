@@ -94,6 +94,7 @@ def make_deployment(
     durable: bool = False,
     snapshot_interval: int = 48,
     observe: bool = False,
+    identities: "dict[str, Identity] | None" = None,
 ) -> Deployment:
     """Build a client + provider + TTP + arbitrator world.
 
@@ -102,6 +103,13 @@ def make_deployment(
     given, its compiled per-pair channels override *channel* for every
     host pair it covers (all role names must be hosts of the topology).
     All keys derive from *seed*; identical seeds give bit-identical runs.
+
+    *identities* supplies pre-generated :class:`Identity` objects by
+    name; any role found there skips key generation (the dominant cost
+    of building a world).  The throughput harness uses this to amortize
+    keygen across sweep points — note that skipping generation advances
+    the deployment RNG differently, so runs with and without a given
+    identity are not bit-comparable.
 
     With ``durable=True`` every party gets a
     :class:`~repro.durability.journal.PartyJournal` over a shared
@@ -121,10 +129,15 @@ def make_deployment(
         network.obs = Observability(clock=lambda: sim.now)
     ca = CertificateAuthority("repro-ca", rng.fork("ca"), bits=key_bits)
     registry = KeyRegistry(ca)
-    client_id = Identity.generate(client_name, rng, bits=key_bits)
-    provider_id = Identity.generate(provider_name, rng, bits=key_bits)
-    ttp_id = Identity.generate(ttp_name, rng, bits=key_bits)
-    extra_ids = [Identity.generate(name, rng, bits=key_bits) for name in extra_client_names]
+    def _identity(name: str) -> Identity:
+        if identities is not None and name in identities:
+            return identities[name]
+        return Identity.generate(name, rng, bits=key_bits)
+
+    client_id = _identity(client_name)
+    provider_id = _identity(provider_name)
+    ttp_id = _identity(ttp_name)
+    extra_ids = [_identity(name) for name in extra_client_names]
     for identity in (client_id, provider_id, ttp_id, *extra_ids):
         registry.enroll(identity)
     client = TpnrClient(client_id, registry, rng, ttp_name=ttp_name, policy=policy)

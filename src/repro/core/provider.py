@@ -90,6 +90,20 @@ class TpnrProvider(TpnrParty):
         if self.audit_log is not None:
             self.audit_log.append(operation, _CONTAINER, key, data, at_time=self.now)
 
+    def stats(self) -> dict[str, int]:
+        """Deterministic service-side tallies for engine/experiment reports."""
+        return {
+            "transactions": len(self.transactions),
+            "stored_blobs": sum(
+                1 for txn in self.transactions if self.store.exists(_CONTAINER, txn)
+            ),
+            "duplicate_requests": self.duplicate_requests,
+            "withheld_receipts": len(self.withheld_receipts),
+            "rejected_messages": len(self.rejected_messages),
+            "retransmits_sent": self.retransmits_sent,
+            "evidence_held": len(self.evidence_store),
+        }
+
     def _wipe_role_state(self) -> None:
         # withheld_receipts / duplicate_requests survive: observability.
         # The audit log also survives — it models the storage layer's

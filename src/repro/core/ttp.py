@@ -68,6 +68,18 @@ class TrustedThirdParty(TpnrParty):
         # table dies with the process and is re-opened from the WAL.
         self._pending = {}
 
+    def stats(self) -> dict[str, int]:
+        """Deterministic tallies; all-zero on a clean Normal-mode run —
+        the off-line-TTP property the throughput experiment asserts."""
+        return {
+            "resolves_handled": self.resolves_handled,
+            "failures_declared": self.failures_declared,
+            "bulk_rejections": self.bulk_rejections,
+            "duplicate_requests": self.duplicate_requests,
+            "pending_resolves": len(self._pending),
+            "rejected_messages": len(self.rejected_messages),
+        }
+
     # ------------------------------------------------------------------
     # Inbound dispatch
     # ------------------------------------------------------------------

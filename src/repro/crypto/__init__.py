@@ -10,7 +10,8 @@ standard library / RFC test vectors in the test suite; hot paths
 dispatch to ``hashlib`` where an equivalent exists.
 """
 
-from . import aead, chacha20, chacha20_np, dh, drbg, dsa, hashes, hmac_, kem, numbers, pki, primes, rsa, shamir
+from . import aead, cache, chacha20, chacha20_np, dh, drbg, dsa, hashes, hmac_, kem, numbers, pki, primes, rsa, shamir
+from .cache import CryptoCaches, LruCache, crypto_caches
 from .drbg import HmacDrbg
 from .hashes import MD5, SHA256, digest, hexdigest
 from .hmac_ import constant_time_equals, hmac_digest, verify_hmac
@@ -21,6 +22,10 @@ from .shamir import Share, recover_digest, recover_secret, split_digest, split_s
 
 __all__ = [
     "aead",
+    "cache",
+    "CryptoCaches",
+    "LruCache",
+    "crypto_caches",
     "chacha20",
     "chacha20_np",
     "dh",

@@ -14,6 +14,7 @@ import struct
 
 from ..errors import DecryptionError
 from . import aead, rsa
+from . import cache as _cache
 from .chacha20 import NONCE_SIZE
 from .drbg import HmacDrbg
 
@@ -23,12 +24,42 @@ _KEY_LEN = 32
 
 
 def hybrid_encrypt(
-    public_key: rsa.RsaPublicKey, plaintext: bytes, rng: HmacDrbg, aad: bytes = b""
+    public_key: rsa.RsaPublicKey,
+    plaintext: bytes,
+    rng: HmacDrbg,
+    aad: bytes = b"",
+    cache_scope: str | None = None,
 ) -> bytes:
-    """Encrypt arbitrary-length *plaintext* to *public_key*."""
-    session_key = rng.generate(_KEY_LEN)
-    nonce = rng.generate(NONCE_SIZE)
-    wrapped = rsa.encrypt(public_key, session_key, rng)
+    """Encrypt arbitrary-length *plaintext* to *public_key*.
+
+    When *cache_scope* is given (the sender's name) and a
+    :mod:`repro.crypto.cache` bundle is installed, the RSA-wrapped
+    session key for ``(scope, recipient key)`` is reused across calls —
+    this is an ordinary per-peer session key; only the AEAD nonce is
+    drawn fresh per message, so no nonce ever repeats under one key.
+    Scoping by sender keeps two senders from sharing a session key.
+    The wire format and all lengths are identical with or without the
+    cache.
+    """
+    caches = _cache.caches
+    if caches is not None and cache_scope is not None:
+        cache_key = (cache_scope, public_key.n, public_key.e)
+        pair = caches.kem_wrap.get(cache_key)
+        if pair is not None:
+            session_key, wrapped = pair
+            nonce = rng.generate(NONCE_SIZE)
+        else:
+            # Miss path draws in the same order as the uncached path,
+            # so the first sealing to a peer is byte-identical to an
+            # uncached run.
+            session_key = rng.generate(_KEY_LEN)
+            nonce = rng.generate(NONCE_SIZE)
+            wrapped = rsa.encrypt(public_key, session_key, rng)
+            caches.kem_wrap.put(cache_key, (session_key, wrapped))
+    else:
+        session_key = rng.generate(_KEY_LEN)
+        nonce = rng.generate(NONCE_SIZE)
+        wrapped = rsa.encrypt(public_key, session_key, rng)
     sealed = aead.seal(session_key, nonce, plaintext, aad)
     return struct.pack(">H", len(wrapped)) + wrapped + sealed
 
@@ -36,7 +67,14 @@ def hybrid_encrypt(
 def hybrid_decrypt(
     private_key: rsa.RsaPrivateKey, blob: bytes, aad: bytes = b""
 ) -> bytes:
-    """Decrypt a blob produced by :func:`hybrid_encrypt`."""
+    """Decrypt a blob produced by :func:`hybrid_encrypt`.
+
+    With a :mod:`repro.crypto.cache` bundle installed, the unwrap of a
+    previously seen wrapped key is served from the recipient's own
+    cache — populated only by this function's first successful RSA
+    decryption, never by the sender's side, so nothing crosses the
+    simulated wire beyond the blob itself.
+    """
     if len(blob) < 2:
         raise DecryptionError("hybrid blob too short")
     (wrapped_len,) = struct.unpack(">H", blob[:2])
@@ -44,7 +82,13 @@ def hybrid_decrypt(
     sealed = blob[2 + wrapped_len :]
     if len(wrapped) != wrapped_len:
         raise DecryptionError("hybrid blob truncated")
-    session_key = rsa.decrypt(private_key, wrapped)
-    if len(session_key) != _KEY_LEN:
-        raise DecryptionError("wrapped session key has wrong length")
+    caches = _cache.caches
+    cache_key = (private_key.n, wrapped) if caches is not None else None
+    session_key = caches.kem_unwrap.get(cache_key) if caches is not None else None
+    if session_key is None:
+        session_key = rsa.decrypt(private_key, wrapped)
+        if len(session_key) != _KEY_LEN:
+            raise DecryptionError("wrapped session key has wrong length")
+        if caches is not None:
+            caches.kem_unwrap.put(cache_key, session_key)
     return aead.open_(session_key, sealed, aad)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from ..errors import CryptoError, DecryptionError, InvalidKeyError, SignatureError
+from . import cache as _cache
 from . import instrument as _instrument
 from .drbg import HmacDrbg
 from .hashes import DIGEST_SIZES, digest
@@ -139,15 +140,29 @@ def _encode_digest_block(data_digest: bytes, hash_name: str, size: int) -> bytes
 
 
 def sign(key: RsaPrivateKey, message: bytes, hash_name: str = "sha256") -> bytes:
-    """Sign *message* (hash-then-sign). Returns a modulus-sized blob."""
+    """Sign *message* (hash-then-sign). Returns a modulus-sized blob.
+
+    Signing is fully deterministic here (EMSA padding, no salt), so the
+    signature is a pure function of ``(key, hash algorithm, digest)``
+    and can be served from :mod:`repro.crypto.cache` when installed —
+    a hit skips the CRT private-key operation and returns the identical
+    blob.  The observer still counts every call either way.
+    """
     observer = _instrument.observer
     started = perf_counter() if observer is not None else 0.0
     if hash_name not in DIGEST_SIZES:
         raise CryptoError(f"unknown hash algorithm: {hash_name!r}")
-    block = _encode_digest_block(digest(hash_name, message), hash_name, key.size_bytes)
-    m = bytes_to_int(block)
-    s = key._private_op(m)
-    signature = int_to_bytes(s, key.size_bytes)
+    data_digest = digest(hash_name, message)
+    caches = _cache.caches
+    cache_key = (key.n, hash_name, data_digest) if caches is not None else None
+    signature = caches.sign.get(cache_key) if caches is not None else None
+    if signature is None:
+        block = _encode_digest_block(data_digest, hash_name, key.size_bytes)
+        m = bytes_to_int(block)
+        s = key._private_op(m)
+        signature = int_to_bytes(s, key.size_bytes)
+        if caches is not None:
+            caches.sign.put(cache_key, signature)
     if observer is not None:
         observer.crypto_call("rsa.sign", perf_counter() - started)
     return signature
@@ -168,6 +183,21 @@ def verify(key: RsaPublicKey, message: bytes, signature: bytes, hash_name: str =
 def _verify(key: RsaPublicKey, message: bytes, signature: bytes, hash_name: str) -> bool:
     if hash_name not in DIGEST_SIZES:
         raise CryptoError(f"unknown hash algorithm: {hash_name!r}")
+    caches = _cache.caches
+    if caches is not None:
+        # Verification is a pure predicate of key, algorithm, digest,
+        # and signature bytes, so the verdict itself is cacheable —
+        # the engine's repeated NRO/NRR checks hit this.
+        cache_key = (key.n, key.e, hash_name, digest(hash_name, message), signature)
+        verdict = caches.verify.get(cache_key)
+        if verdict is None:
+            verdict = _verify_uncached(key, message, signature, hash_name)
+            caches.verify.put(cache_key, verdict)
+        return verdict
+    return _verify_uncached(key, message, signature, hash_name)
+
+
+def _verify_uncached(key: RsaPublicKey, message: bytes, signature: bytes, hash_name: str) -> bool:
     if len(signature) != key.size_bytes:
         return False
     s = bytes_to_int(signature)

@@ -64,11 +64,17 @@ def recover_secret(shares: list[Share], threshold: int | None = None) -> int:
     """Reconstruct the secret from shares via Lagrange interpolation at 0.
 
     When *threshold* is given, exactly that many (distinct) shares are
-    used; otherwise all supplied shares are.  Wrong or insufficient
-    shares yield a *different* secret, not an error — detecting that is
-    the caller's job (compare against a known digest).
+    used, and supplying fewer raises :class:`SecretSharingError` —
+    interpolating an underdetermined system would silently return a
+    wrong secret.  Without a threshold all supplied shares are used;
+    *wrong* shares then yield a *different* secret, not an error —
+    detecting that is the caller's job (compare against a known digest).
     """
     if threshold is not None:
+        if len(shares) < threshold:
+            raise SecretSharingError(
+                f"insufficient shares: got {len(shares)}, threshold is {threshold}"
+            )
         shares = shares[:threshold]
     if not shares:
         raise SecretSharingError("no shares supplied")

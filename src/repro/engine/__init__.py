@@ -1,0 +1,35 @@
+"""repro.engine — the multi-tenant TPNR throughput engine.
+
+The paper's §6 leaves performance evaluation open; this package closes
+the measurement gap.  :class:`~repro.engine.pool.SessionPool` drives N
+concurrent client/provider TPNR sessions over one simulated network,
+deterministically (per-tenant named DRBG streams, explicit transaction
+IDs), while the opt-in :mod:`repro.crypto.cache` bundle removes
+repeated modular exponentiation from the hot path.
+:mod:`repro.engine.throughput` sweeps tenant counts and compares
+against the uncached one-world-per-transaction baseline.
+"""
+
+from .pool import EngineConfig, PoolResult, SessionPool, SessionRecord, TenantDirectory
+from .throughput import (
+    BaselineSample,
+    ThroughputReport,
+    ThroughputSample,
+    run_baseline,
+    run_pool,
+    run_throughput,
+)
+
+__all__ = [
+    "EngineConfig",
+    "PoolResult",
+    "SessionPool",
+    "SessionRecord",
+    "TenantDirectory",
+    "BaselineSample",
+    "ThroughputReport",
+    "ThroughputSample",
+    "run_baseline",
+    "run_pool",
+    "run_throughput",
+]

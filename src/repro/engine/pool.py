@@ -1,0 +1,438 @@
+"""Multi-tenant TPNR session pool.
+
+One :class:`SessionPool` drives N concurrent Normal-mode sessions —
+one client per tenant, all against one provider, one TTP, one
+:class:`~repro.net.network.Network` and one
+:class:`~repro.net.events.Simulator`.  This is the paper's open
+performance question (§6) made concrete: what does the protocol cost
+when a provider serves heavy traffic rather than one Alice at a time?
+
+Determinism under any interleaving is the design constraint.  Every
+random stream is a *named* :class:`~repro.crypto.drbg.HmacDrbg`
+(Proteus-style: ``HmacDrbg(seed, personalization=...)``), never a
+``fork()`` off a shared parent — forking mutates the parent, so the
+stream a tenant received would depend on construction order.  With
+named streams, tenant 7's nonces are the same whether 10 or 1000
+tenants run beside it, and two same-seed runs are byte-identical
+(:meth:`PoolResult.signature` is the proof handle; ``tests/engine``
+asserts it).
+
+Transaction IDs are likewise explicit (``TXN-E{tenant}-{k}``) instead
+of the process-global counter, so a pool's IDs do not depend on how
+many transactions ran earlier in the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..core.client import DownloadResult, TpnrClient
+from ..core.policy import DEFAULT_POLICY, TpnrPolicy
+from ..core.protocol import DEFAULT_KEY_BITS
+from ..core.provider import HONEST, ProviderBehavior, TpnrProvider
+from ..core.transaction import TransactionRecord, TxStatus
+from ..core.ttp import TrustedThirdParty
+from ..crypto import cache as crypto_cache
+from ..crypto.drbg import HmacDrbg
+from ..crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from ..net.channel import PERFECT, ChannelSpec
+from ..net.events import Simulator
+from ..net.network import Network
+from ..obs import NULL_OBS, Observability
+
+__all__ = ["EngineConfig", "TenantDirectory", "SessionRecord", "PoolResult", "SessionPool"]
+
+
+def _seed_bytes(seed: bytes | str) -> bytes:
+    return seed.encode("utf-8") if isinstance(seed, str) else bytes(seed)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for one pool run."""
+
+    n_tenants: int = 10
+    transactions_per_tenant: int = 1
+    payload_min: int = 64
+    payload_max: int = 512
+    arrival_window: float = 5.0  # uploads start uniformly inside this (sim s)
+    with_download: bool = True
+    key_bits: int = DEFAULT_KEY_BITS
+    use_caches: bool = True
+    observe: bool = True
+    sample_interval: float = 0.5  # in-flight gauge sampling period (sim s)
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if self.transactions_per_tenant < 1:
+            raise ValueError("transactions_per_tenant must be >= 1")
+        if not 0 < self.payload_min <= self.payload_max:
+            raise ValueError("need 0 < payload_min <= payload_max")
+
+
+class TenantDirectory:
+    """Memoised identities for pool worlds.
+
+    Key generation dominates world-building cost, so the directory
+    caches every :class:`Identity` (tenants, provider, TTP, CA) and a
+    sweep reuses them across points — the 100-tenant point pays keygen
+    only for the 90 tenants the 10-tenant point did not create.  Each
+    identity derives from its own named DRBG stream, so the keys a name
+    gets are independent of creation order and of which other names
+    exist.
+    """
+
+    def __init__(self, seed: bytes | str = b"tpnr-engine", key_bits: int = DEFAULT_KEY_BITS) -> None:
+        self._seed = _seed_bytes(seed)
+        self.key_bits = key_bits
+        self._identities: dict[str, Identity] = {}
+        self._ca: CertificateAuthority | None = None
+
+    def stream(self, label: str) -> HmacDrbg:
+        """A named DRBG stream under this directory's seed."""
+        return HmacDrbg(self._seed, personalization=label.encode("utf-8"))
+
+    def identity(self, name: str) -> Identity:
+        found = self._identities.get(name)
+        if found is None:
+            found = Identity.generate(
+                name, self.stream(f"engine/identity/{name}"), bits=self.key_bits
+            )
+            self._identities[name] = found
+        return found
+
+    def certificate_authority(self) -> CertificateAuthority:
+        if self._ca is None:
+            self._ca = CertificateAuthority(
+                "repro-ca", self.stream("engine/ca"), bits=self.key_bits
+            )
+        return self._ca
+
+    def warm(self, names: list[str]) -> None:
+        """Pre-generate identities outside any timed region."""
+        for name in names:
+            self.identity(name)
+
+    def __len__(self) -> int:
+        return len(self._identities)
+
+
+@dataclass
+class SessionRecord:
+    """One tenant transaction's lifecycle, in simulated time."""
+
+    tenant: str
+    transaction_id: str
+    payload_size: int
+    started_at: float
+    upload_done_at: float | None = None
+    download_done_at: float | None = None
+    upload_status: str = "pending"
+    download_verified: bool = False
+    download_detail: str = ""
+    finished: bool = False
+
+    @property
+    def latency(self) -> float | None:
+        """Sim seconds from upload start to session end, if finished."""
+        end = self.download_done_at if self.download_done_at is not None else self.upload_done_at
+        return None if end is None else end - self.started_at
+
+    def row(self) -> tuple:
+        """Canonical deterministic projection for signatures."""
+        return (
+            self.tenant,
+            self.transaction_id,
+            self.payload_size,
+            round(self.started_at, 9),
+            None if self.upload_done_at is None else round(self.upload_done_at, 9),
+            None if self.download_done_at is None else round(self.download_done_at, 9),
+            self.upload_status,
+            self.download_verified,
+            self.download_detail,
+        )
+
+
+@dataclass
+class PoolResult:
+    """Everything one pool run produced.
+
+    :meth:`signature` hashes only the deterministic simulation outputs
+    (session rows, wire accounting, party tallies) — wall-clock timings
+    and cache statistics are deliberately excluded, so the signature
+    must be byte-identical across same-seed runs *and* across runs with
+    the crypto caches on or off (the caches change CPU time, never
+    simulated behavior).
+    """
+
+    config: EngineConfig
+    sessions: list[SessionRecord]
+    sim_duration: float
+    build_seconds: float
+    drive_seconds: float
+    messages_sent: int
+    bytes_on_wire: int
+    provider_stats: dict[str, int]
+    ttp_stats: dict[str, int]
+    p50_latency: float
+    p99_latency: float
+    cache_stats: dict[str, dict[str, float]] | None = None
+    obs: Observability = NULL_OBS
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.sessions if s.upload_status in ("completed", "resolved"))
+
+    @property
+    def verified(self) -> int:
+        return sum(1 for s in self.sessions if s.download_verified)
+
+    @property
+    def failed(self) -> int:
+        return len(self.sessions) - self.completed
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.build_seconds + self.drive_seconds
+
+    @property
+    def tx_per_sec(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def signature(self) -> str:
+        h = hashlib.sha256()
+        for session in sorted(self.sessions, key=lambda s: s.transaction_id):
+            h.update(repr(session.row()).encode("utf-8"))
+            h.update(b"\n")
+        h.update(repr((
+            self.messages_sent,
+            self.bytes_on_wire,
+            round(self.sim_duration, 9),
+            sorted(self.provider_stats.items()),
+            sorted(self.ttp_stats.items()),
+        )).encode("utf-8"))
+        return h.hexdigest()
+
+
+class SessionPool:
+    """Build one multi-tenant world, drive it to quiescence, report.
+
+    Usage::
+
+        pool = SessionPool(EngineConfig(n_tenants=100), seed=b"tp1")
+        result = pool.run()
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        seed: bytes | str = b"tpnr-engine",
+        directory: TenantDirectory | None = None,
+        channel: ChannelSpec = PERFECT,
+        policy: TpnrPolicy = DEFAULT_POLICY,
+        behavior: ProviderBehavior = HONEST,
+        provider_name: str = "bob",
+        ttp_name: str = "ttp",
+    ) -> None:
+        self.config = config
+        self._seed = _seed_bytes(seed)
+        # `is None`, not `or`: an empty directory is falsy via __len__
+        # and must still be honored (it memoizes as the pool builds).
+        if directory is None:
+            directory = TenantDirectory(self._seed, key_bits=config.key_bits)
+        self.directory = directory
+        if self.directory.key_bits != config.key_bits:
+            raise ValueError(
+                f"directory key_bits {self.directory.key_bits} != config {config.key_bits}"
+            )
+        self.channel = channel
+        self.policy = policy
+        self.behavior = behavior
+        self.provider_name = provider_name
+        self.ttp_name = ttp_name
+        self.tenant_names = [f"tenant-{i:04d}" for i in range(config.n_tenants)]
+        # Populated by build()/run():
+        self.sim: Simulator | None = None
+        self.network: Network | None = None
+        self.provider: TpnrProvider | None = None
+        self.ttp: TrustedThirdParty | None = None
+        self.clients: dict[str, TpnrClient] = {}
+        self._sessions: dict[str, SessionRecord] = {}
+        self._inflight = 0
+        self._obs: Observability = NULL_OBS
+
+    # -- world construction --------------------------------------------------
+
+    def _stream(self, label: str) -> HmacDrbg:
+        return HmacDrbg(self._seed, personalization=label.encode("utf-8"))
+
+    def build(self) -> None:
+        """Wire the world: PKI, network, provider, TTP, tenant clients."""
+        config = self.config
+        self.sim = Simulator()
+        self.network = Network(self.sim, self._stream("engine/net"), default_channel=self.channel)
+        if config.observe:
+            sim = self.sim
+            self.network.obs = Observability(clock=lambda: sim.now)
+        self._obs = self.network.obs
+        registry = KeyRegistry(self.directory.certificate_authority())
+        provider_id = self.directory.identity(self.provider_name)
+        ttp_id = self.directory.identity(self.ttp_name)
+        tenant_ids = [self.directory.identity(name) for name in self.tenant_names]
+        for identity in (provider_id, ttp_id, *tenant_ids):
+            registry.enroll(identity)
+        self.provider = TpnrProvider(
+            provider_id, registry, self._stream("engine/party/provider"),
+            ttp_name=self.ttp_name, policy=self.policy, behavior=self.behavior,
+        )
+        self.ttp = TrustedThirdParty(
+            ttp_id, registry, self._stream("engine/party/ttp"), policy=self.policy
+        )
+        self.network.add_node(self.provider)
+        self.network.add_node(self.ttp)
+        self.clients = {}
+        for identity in tenant_ids:
+            client = TpnrClient(
+                identity, registry, self._stream(f"engine/party/{identity.name}"),
+                ttp_name=self.ttp_name, policy=self.policy,
+            )
+            client.on_txn_terminal = self._upload_terminal
+            client.on_download_complete = self._download_complete
+            self.network.add_node(client)
+            self.clients[identity.name] = client
+
+    def _schedule_workload(self) -> None:
+        """Schedule every tenant's uploads inside the arrival window.
+
+        Payload bytes and arrival offsets come from per-tenant named
+        streams, so tenant k's workload is identical no matter which
+        other tenants exist.
+        """
+        config = self.config
+        assert self.sim is not None
+        for index, name in enumerate(self.tenant_names):
+            workload = self._stream(f"engine/workload/{name}")
+            for k in range(config.transactions_per_tenant):
+                size = workload.randint(config.payload_min, config.payload_max)
+                payload = workload.generate(size)
+                offset = workload.random() * config.arrival_window
+                transaction_id = f"TXN-E{index:04d}-{k:03d}"
+                self._sessions[transaction_id] = SessionRecord(
+                    tenant=name,
+                    transaction_id=transaction_id,
+                    payload_size=size,
+                    started_at=offset,
+                )
+                self.sim.schedule_at(
+                    offset,
+                    lambda n=name, d=payload, t=transaction_id: self._start_upload(n, d, t),
+                )
+
+    def _start_upload(self, tenant: str, data: bytes, transaction_id: str) -> None:
+        self._inflight += 1
+        self.clients[tenant].upload(
+            self.provider_name, data, transaction_id=transaction_id
+        )
+
+    # -- session lifecycle hooks ---------------------------------------------
+
+    def _upload_terminal(self, record: TransactionRecord) -> None:
+        session = self._sessions.get(record.transaction_id)
+        if session is None or session.finished:
+            return
+        assert self.sim is not None
+        session.upload_status = record.status.value
+        session.upload_done_at = self.sim.now
+        chain_download = (
+            self.config.with_download
+            and record.status in (TxStatus.COMPLETED, TxStatus.RESOLVED)
+        )
+        if chain_download:
+            self.clients[session.tenant].download(record.transaction_id)
+        else:
+            self._finish_session(session)
+
+    def _download_complete(self, result: DownloadResult) -> None:
+        session = self._sessions.get(result.transaction_id)
+        if session is None or session.finished:
+            return
+        assert self.sim is not None
+        session.download_done_at = self.sim.now
+        session.download_verified = result.verified
+        session.download_detail = result.detail
+        self._finish_session(session)
+
+    def _finish_session(self, session: SessionRecord) -> None:
+        session.finished = True
+        self._inflight -= 1
+        obs = self._obs
+        if obs.enabled:
+            ok = session.upload_status in ("completed", "resolved")
+            obs.metrics.counter(
+                "engine.sessions_finished", outcome="ok" if ok else "failed"
+            ).inc()
+            latency = session.latency
+            if latency is not None:
+                obs.metrics.histogram("engine.session_latency_seconds").observe(latency)
+
+    # -- driving -------------------------------------------------------------
+
+    def _drive(self) -> None:
+        """Run to quiescence, sampling the in-flight gauge per slice."""
+        assert self.sim is not None
+        sim = self.sim
+        obs = self._obs
+        while sim.next_event_time() is not None:
+            sim.run(until=sim.now + self.config.sample_interval)
+            if obs.enabled:
+                obs.metrics.gauge("engine.inflight_sessions").set(self._inflight)
+
+    def run(self) -> PoolResult:
+        """Build, schedule, drive, and summarize one pool run.
+
+        With ``config.use_caches`` a fresh scoped
+        :class:`~repro.crypto.cache.CryptoCaches` bundle covers the
+        whole run (build included — enrollment signatures hit the sign
+        cache too) and its statistics land in the result; the previous
+        process-wide cache seat is restored afterwards either way.
+        """
+        if self.config.use_caches:
+            with crypto_cache.crypto_caches() as bundle:
+                return self._run_inner(bundle)
+        return self._run_inner(None)
+
+    def _run_inner(self, bundle) -> PoolResult:
+        build_started = perf_counter()
+        self.build()
+        self._schedule_workload()
+        build_seconds = perf_counter() - build_started
+        drive_started = perf_counter()
+        self._drive()
+        drive_seconds = perf_counter() - drive_started
+        assert self.sim is not None and self.network is not None
+        assert self.provider is not None and self.ttp is not None
+        sends = self.network.trace.sends("tpnr.")
+        obs = self._obs
+        if obs.enabled:
+            latency_hist = obs.metrics.histogram("engine.session_latency_seconds")
+            p50, p99 = latency_hist.quantile(0.50), latency_hist.quantile(0.99)
+        else:
+            p50 = p99 = 0.0
+        return PoolResult(
+            config=self.config,
+            sessions=sorted(self._sessions.values(), key=lambda s: s.transaction_id),
+            sim_duration=self.sim.now,
+            build_seconds=build_seconds,
+            drive_seconds=drive_seconds,
+            messages_sent=len(sends),
+            bytes_on_wire=sum(e.size_bytes for e in sends),
+            provider_stats=self.provider.stats(),
+            ttp_stats=self.ttp.stats(),
+            p50_latency=p50,
+            p99_latency=p99,
+            cache_stats=bundle.stats() if bundle is not None else None,
+            obs=obs,
+        )

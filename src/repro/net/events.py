@@ -107,6 +107,21 @@ class Simulator:
         if until is not None and self.now < until:
             self.clock.advance_to(until)
 
+    def next_event_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when idle.
+
+        Lazily discards cancelled heap heads on the way, so repeated
+        polling (the throughput engine's run loop slices time with
+        this) stays amortized O(log n).
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return head.time
+        return None
+
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return sum(1 for e in self._heap if not e.cancelled)

@@ -35,11 +35,19 @@ __all__ = ["Envelope", "Network", "wire_size"]
 def wire_size(payload: Any) -> int:
     """Estimate the on-wire size of a payload in bytes.
 
-    Bytes are exact; objects exposing ``wire_size()`` (all protocol
+    Bytes-likes are exact (``memoryview`` by ``nbytes``, so a sliced
+    view of a wide buffer is billed for its bytes, not its element
+    count); ``str`` is billed as its UTF-8 encoding — not ``repr``,
+    which would charge for quote characters and count non-ASCII text
+    in code points; objects exposing ``wire_size()`` (all protocol
     messages do) are asked; anything else falls back to ``len(repr)``.
     """
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, memoryview):
+        return payload.nbytes
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
     size_fn = getattr(payload, "wire_size", None)
     if callable(size_fn):
         return int(size_fn())

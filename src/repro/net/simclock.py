@@ -31,10 +31,16 @@ class SimClock:
         self._now = t
 
     def advance_by(self, dt: float) -> None:
-        """Advance by *dt* >= 0 seconds."""
+        """Advance by *dt* >= 0 seconds.
+
+        Delegates to :meth:`advance_to` so relative steps share the
+        absolute path's monotonicity check and rounding — mixing the
+        two must not accumulate float drift against the scheduler's
+        absolute ``advance_to`` timestamps.
+        """
         if dt < 0:
             raise NetworkError(f"negative clock step: {dt}")
-        self._now += dt
+        self.advance_to(self._now + dt)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimClock(t={self._now:.6f})"

@@ -118,6 +118,33 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (Prometheus ``histogram_quantile``).
+
+        Linear interpolation inside the bucket holding the target rank;
+        the implicit ``+Inf`` bucket clamps to the last finite bound
+        (there is nothing better to report without raw samples).
+        Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = self.cumulative_counts()
+        for i, running in enumerate(cumulative):
+            if running >= rank:
+                if i >= len(self.buckets):  # +Inf bucket
+                    return float(self.buckets[-1]) if self.buckets else 0.0
+                lower = float(self.buckets[i - 1]) if i > 0 else 0.0
+                upper = float(self.buckets[i])
+                in_bucket = self.bucket_counts[i]
+                if in_bucket == 0:
+                    return upper
+                below = running - in_bucket
+                return lower + (upper - lower) * ((rank - below) / in_bucket)
+        return float(self.buckets[-1]) if self.buckets else 0.0
+
 
 class MetricsRegistry:
     """Get-or-create home for every instrument of one observed world."""

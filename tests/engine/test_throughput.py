@@ -1,0 +1,57 @@
+"""The throughput sweep harness around SessionPool.
+
+Tiny sweep points keep this inside the tier-1 budget; the real
+(1, 10, 100)-tenant sweep with the >= 2x acceptance bar lives in
+``benchmarks/bench_throughput.py``.
+"""
+
+import pytest
+
+from repro.engine import run_baseline, run_pool, run_throughput
+
+SEED = b"test/throughput"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_throughput(seed=SEED, tenant_counts=(1, 2), baseline_transactions=2)
+
+
+class TestSweep:
+    def test_all_points_complete_and_verify(self, report):
+        assert [s.tenants for s in report.samples] == [1, 2]
+        for sample in report.samples:
+            assert sample.completed == sample.transactions == sample.verified
+            assert sample.wall_seconds > 0 and sample.tx_per_sec > 0
+
+    def test_sample_lookup(self, report):
+        assert report.sample_at(2).tenants == 2
+        with pytest.raises(KeyError):
+            report.sample_at(99)
+
+    def test_baseline_measured_in_same_run(self, report):
+        assert report.baseline.completed == report.baseline.transactions == 2
+        assert report.baseline.tx_per_sec > 0
+        assert report.speedup_at(2) > 0
+
+    def test_sweep_signatures_match_standalone_pools(self, report):
+        # The shared warmed directory is a pure wall-clock optimization:
+        # each sweep point's deterministic signature equals a cold
+        # standalone run at the same seed and tenant count.
+        for sample in report.samples:
+            assert sample.signature == run_pool(SEED, sample.tenants).signature()
+
+    def test_verify_cache_engaged(self, report):
+        assert report.sample_at(2).verify_cache_hits > 0
+        assert report.sample_at(2).verify_cache_hit_rate > 0
+
+    def test_row_shape_stable(self, report):
+        # benchmarks/bench_throughput.py renders rows under 10 headers.
+        assert all(len(s.row()) == 10 for s in report.samples)
+
+
+class TestBaseline:
+    def test_baseline_runs_uncached_worlds(self):
+        sample = run_baseline(SEED, 2)
+        assert sample.completed == 2
+        assert sample.wall_seconds > 0 and sample.tx_per_sec > 0

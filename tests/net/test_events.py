@@ -140,3 +140,48 @@ class TestRun:
         sim.schedule(1.0, rearm)
         with pytest.raises(NetworkError):
             sim.run()
+
+
+class TestSimClockDelegation:
+    def test_advance_by_is_advance_to_now_plus_dt(self):
+        # advance_by delegates to advance_to, so the two share one
+        # monotonicity check and update path (PR-4 bugfix: they used
+        # to maintain `now` independently).
+        a, b = SimClock(1.5), SimClock(1.5)
+        a.advance_by(2.25)
+        b.advance_to(b.now + 2.25)
+        assert a.now == b.now == 3.75
+
+    def test_zero_step_allowed(self):
+        clock = SimClock(4.0)
+        clock.advance_by(0.0)
+        assert clock.now == 4.0
+
+
+class TestNextEventTime:
+    def test_none_when_idle(self):
+        assert Simulator().next_event_time() is None
+
+    def test_reports_earliest_pending_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.next_event_time() == 2.0
+        sim.run(until=3.0)
+        assert sim.next_event_time() == 5.0
+        sim.run()
+        assert sim.next_event_time() is None
+
+    def test_skips_cancelled_heads(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.next_event_time() == 2.0
+
+    def test_peek_does_not_consume(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.next_event_time() == 1.0
+        assert sim.next_event_time() == 1.0
+        assert sim.pending() == 1

@@ -1,0 +1,64 @@
+"""Wire-accounting properties of :func:`repro.net.network.wire_size`.
+
+The pre-fix accounting charged ``str`` payloads ``len(repr(s))`` — two
+quote characters of phantom bandwidth on every text payload, and an
+*under*-count for multi-byte UTF-8 (``repr`` measures code points, the
+wire carries bytes).  These tests pin the fixed contract: bytes-likes
+cost their byte length, text costs its UTF-8 encoding, framed objects
+answer for themselves, and everything else keeps the repr fallback.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.network import wire_size
+
+
+class TestBytesLike:
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_and_bytearray_cost_their_length(self, payload):
+        assert wire_size(payload) == len(payload)
+        assert wire_size(bytearray(payload)) == len(payload)
+
+    @given(st.binary(min_size=8, max_size=256))
+    @settings(max_examples=25, deadline=None)
+    def test_memoryview_counts_the_view_not_the_backing(self, payload):
+        assert wire_size(memoryview(payload)) == len(payload)
+        sliced = memoryview(payload)[2:6]
+        assert wire_size(sliced) == sliced.nbytes == 4
+
+
+class TestText:
+    @given(st.text(max_size=512))
+    @settings(max_examples=50, deadline=None)
+    def test_str_costs_utf8_bytes(self, text):
+        assert wire_size(text) == len(text.encode("utf-8"))
+
+    def test_known_encodings(self):
+        assert wire_size("") == 0
+        assert wire_size("abc") == 3  # was 5 under the repr accounting
+        assert wire_size("héllo") == 6  # 2-byte code point
+        assert wire_size("データ") == 9  # 3-byte code points
+
+    @given(st.text(min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_never_cheaper_than_code_point_count(self, text):
+        # UTF-8 spends at least one byte per code point; the old repr
+        # accounting could dip below this on multi-byte text.
+        assert wire_size(text) >= len(text)
+
+
+class TestDispatchOrder:
+    def test_framed_object_answers_for_itself(self):
+        class Framed:
+            def wire_size(self):
+                return 41
+
+        assert wire_size(Framed()) == 41
+
+    def test_non_payload_types_keep_repr_fallback(self):
+        assert wire_size(123) == len(repr(123)) == 3
+        assert wire_size(None) == len(repr(None))
+        assert wire_size((1, 2)) == len(repr((1, 2)))
