@@ -22,6 +22,12 @@ Commands
     Sweep the multi-tenant session engine over tenant counts, print
     wall tx/sec and sim-time latency percentiles per point, and compare
     against the uncached one-deployment-per-transaction baseline.
+``forensics [--tamper] [--selftest] [--plans N] [--seed S]``
+    Reconstruct one observed session's cross-surface timeline and
+    print its dispute dossier (reconstructed verdict cross-checked
+    against the Arbitrator); with ``--selftest``, sweep a seeded fault
+    sub-campaign and require every failure to be attributed to a
+    classified violation with zero false positives.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
     "CR1": (exp.experiment_crash_recovery, "extension — amnesia-crash recovery campaign"),
     "OB1": (exp.experiment_observability, "extension — observability span trees + metrics"),
+    "OB2": (exp.experiment_forensics, "extension — forensic timelines + consistency audit"),
     "TP1": (exp.experiment_throughput, "extension — multi-tenant throughput engine"),
 }
 
@@ -198,6 +205,55 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Reconstruct one observed session's cross-surface timeline and
+    print the dossier; with ``--selftest``, sweep a seeded fault
+    sub-campaign and require total attribution plus verdict agreement."""
+    from .net.faults import CampaignRunner, FaultPlan, generate_plans
+    from .obs.anomaly import alerts_table
+
+    seed = args.seed.encode()
+    if args.selftest:
+        plans = [FaultPlan(name="selftest-noop")] + generate_plans(seed, args.plans - 1)
+        runner = CampaignRunner(seed=seed, scenario="session", observe=True,
+                                forensics=True, anomaly=True)
+        report = runner.run(plans)
+        unattributed = sum(
+            1 for o in report.outcomes
+            if not (o.status in ("completed", "resolved") and o.download_ok)
+            and not o.findings
+        )
+        noop_findings = len(report.outcomes[0].findings)
+        ok = unattributed == 0 and noop_findings == 0 and report.hung_sessions == 0
+        print(render_kv(
+            [
+                ("plans", len(report.outcomes)),
+                ("statuses", str(report.status_counts())),
+                ("finding classes", str(report.finding_categories())),
+                ("unattributed failures", unattributed),
+                ("no-op plan findings", noop_findings),
+                ("alerts", len(report.alerts)),
+                ("signature", report.signature()[:16] + "..."),
+                ("selftest ok", ok),
+            ],
+            title=f"Forensics selftest (seed={args.seed!r}, {args.plans} plans)",
+        ))
+        if report.alerts:
+            print()
+            print(alerts_table(report.alerts, title="Anomaly alerts"))
+        return 0 if ok else 1
+
+    dep = make_deployment(seed=seed, observe=True, durable=True)
+    behavior = ProviderBehavior(tamper_mode=TamperMode.FIXUP_MD5) if args.tamper else None
+    if behavior is not None:
+        dep = make_deployment(seed=seed, observe=True, durable=True, behavior=behavior)
+    outcome = run_upload(dep, b"forensic session payload " * 8)
+    run_download(dep, outcome.transaction_id)
+    dossier = dep.dossier(outcome.transaction_id)
+    print(dossier.render(arbitrator=dep.arbitrator, max_rows=args.max_rows))
+    return 0 if dossier.agrees(dep.arbitrator, "tampering") else 1
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     """Sweep the session engine and compare against the baseline."""
     from .engine import TenantDirectory, run_baseline, run_pool
@@ -276,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_o.add_argument("--dump-dir", default="",
                      help="directory for spans.jsonl / metrics.jsonl / metrics.prom")
     p_o.set_defaults(func=_cmd_obs)
+
+    p_f = sub.add_parser("forensics",
+                         help="reconstruct a session timeline / audit a campaign")
+    p_f.add_argument("--seed", default="cli", help="determinism seed")
+    p_f.add_argument("--tamper", action="store_true",
+                     help="use a covertly tampering provider")
+    p_f.add_argument("--max-rows", type=int, default=40,
+                     help="timeline rows to print in the dossier")
+    p_f.add_argument("--selftest", action="store_true",
+                     help="run a seeded fault sub-campaign and require "
+                     "total attribution with zero false positives")
+    p_f.add_argument("--plans", type=int, default=25,
+                     help="sub-campaign size for --selftest")
+    p_f.set_defaults(func=_cmd_forensics)
 
     p_t = sub.add_parser("throughput", help="sweep the multi-tenant session engine")
     p_t.add_argument("--tenants", type=int, nargs="+", default=[1, 10, 50],

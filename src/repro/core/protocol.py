@@ -63,6 +63,37 @@ class Deployment:
             return self.client
         return self.extra_clients[name]
 
+    # -- forensics -----------------------------------------------------------
+    # Imported lazily: repro.obs.forensics reaches back into core for
+    # evidence verification, so module-level imports would cycle.
+
+    def timeline(self, transaction_id: str, exclusive_trace: bool = False):
+        """Reconstruct the cross-surface timeline of one transaction."""
+        from ..obs.forensics import TimelineReconstructor
+
+        return TimelineReconstructor.for_deployment(
+            self, exclusive_trace=exclusive_trace
+        ).reconstruct(transaction_id)
+
+    def forensic_audit(self, transaction_id: str, exclusive_trace: bool = False):
+        """Cross-source consistency findings for one transaction."""
+        from ..obs.forensics import ConsistencyAuditor
+
+        return ConsistencyAuditor.for_deployment(
+            self, exclusive_trace=exclusive_trace
+        ).audit(transaction_id)
+
+    def dossier(self, transaction_id: str, claimant_name: str | None = None,
+                exclusive_trace: bool = False):
+        """Build a :class:`~repro.obs.forensics.DisputeDossier`."""
+        from ..obs.forensics import DisputeDossier
+
+        return DisputeDossier.build(
+            self, transaction_id,
+            claimant_name=claimant_name,
+            exclusive_trace=exclusive_trace,
+        )
+
 
 @dataclass
 class SessionOutcome:

@@ -65,6 +65,17 @@ class PartyJournal:
     def bind(self, party) -> None:
         self._party = party
 
+    def _now(self) -> float | None:
+        """The bound party's sim time, or None when unbindable (a
+        standalone journal in tests has no network clock)."""
+        party = self._party
+        if party is None:
+            return None
+        try:
+            return party.now
+        except AttributeError:
+            return None
+
     # -- writing ------------------------------------------------------------
 
     def log(self, record_type: str, **fields) -> None:
@@ -79,6 +90,12 @@ class PartyJournal:
             and self._since_snapshot >= self.snapshot_interval
         ):
             self.write_snapshot()
+        # Stamp the sim time so forensic reconstruction can place the
+        # record on a cross-surface timeline.  Replay ignores unknown
+        # keys, so pre-stamp WALs and stamped WALs interoperate.
+        at = self._now()
+        if at is not None and "at" not in fields:
+            fields["at"] = at
         self.wal.append({"type": record_type, **fields})
         self.records_logged += 1
         self._since_snapshot += 1
@@ -104,7 +121,12 @@ class PartyJournal:
     # -- the record vocabulary ----------------------------------------------
 
     def log_send(self, header) -> None:
-        self.log("send", peer=header.recipient_id, seq=header.sequence_number)
+        self.log(
+            "send",
+            peer=header.recipient_id,
+            seq=header.sequence_number,
+            txn=header.transaction_id,
+        )
 
     def log_recv(self, header) -> None:
         self.log(
@@ -112,6 +134,7 @@ class PartyJournal:
             peer=header.sender_id,
             seq=header.sequence_number,
             nonce=header.nonce,
+            txn=header.transaction_id,
         )
 
     def log_evidence(self, evidence) -> None:

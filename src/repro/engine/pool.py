@@ -25,7 +25,7 @@ many transactions ran earlier in the process.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from time import perf_counter
 
 from ..core.client import DownloadResult, TpnrClient
@@ -41,8 +41,53 @@ from ..net.channel import PERFECT, ChannelSpec
 from ..net.events import Simulator
 from ..net.network import Network
 from ..obs import NULL_OBS, Observability
+from ..obs.anomaly import (
+    AnomalyMonitor,
+    BurnRateDetector,
+    QuantileThresholdDetector,
+    RateShiftDetector,
+)
 
-__all__ = ["EngineConfig", "TenantDirectory", "SessionRecord", "PoolResult", "SessionPool"]
+__all__ = [
+    "EngineConfig",
+    "TenantDirectory",
+    "SessionRecord",
+    "PoolResult",
+    "SessionPool",
+    "attach_engine_detectors",
+]
+
+
+def attach_engine_detectors(
+    monitor: AnomalyMonitor, metrics, retransmit_reader
+) -> AnomalyMonitor:
+    """Subscribe the standard pool detectors to the engine metrics.
+
+    One poll window is one ``sample_interval`` slice of the driving
+    loop: retransmission storms, tail-latency blowups, and session SLO
+    burn all fire while the pool is still running — the live complement
+    to the post-mortem forensics layer.
+    """
+    latency = metrics.histogram("engine.session_latency_seconds")
+    sessions_ok = metrics.counter("engine.sessions_finished", outcome="ok")
+    sessions_bad = metrics.counter("engine.sessions_finished", outcome="failed")
+    monitor.add(RateShiftDetector(
+        "retransmit-rate", retransmit_reader,
+        subject="engine.retransmits",
+        window=10, factor=4.0, min_events=4,
+    ))
+    monitor.add(QuantileThresholdDetector(
+        "latency-p99", lambda: latency,
+        subject="engine.session_latency_seconds",
+        q=0.99, threshold=5.0, window=10, min_count=5,
+    ))
+    monitor.add(BurnRateDetector(
+        "session-slo",
+        lambda: sessions_ok.value, lambda: sessions_bad.value,
+        subject="engine.sessions_finished",
+        slo=0.95, threshold=2.0, window=10, min_events=5,
+    ))
+    return monitor
 
 
 def _seed_bytes(seed: bytes | str) -> bytes:
@@ -63,6 +108,7 @@ class EngineConfig:
     use_caches: bool = True
     observe: bool = True
     sample_interval: float = 0.5  # in-flight gauge sampling period (sim s)
+    anomaly: bool = True  # poll anomaly detectors per sample (observe only)
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
@@ -181,6 +227,9 @@ class PoolResult:
     p99_latency: float
     cache_stats: dict[str, dict[str, float]] | None = None
     obs: Observability = NULL_OBS
+    # Anomaly alerts from the sampling loop; telemetry only, excluded
+    # from signature() like the wall-clock timings.
+    alerts: list = dataclass_field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -263,6 +312,7 @@ class SessionPool:
         self._sessions: dict[str, SessionRecord] = {}
         self._inflight = 0
         self._obs: Observability = NULL_OBS
+        self.monitor: AnomalyMonitor | None = None
 
     # -- world construction --------------------------------------------------
 
@@ -303,6 +353,19 @@ class SessionPool:
             client.on_download_complete = self._download_complete
             self.network.add_node(client)
             self.clients[identity.name] = client
+        self.monitor = None
+        if config.observe and config.anomaly:
+            self.monitor = attach_engine_detectors(
+                self._obs.monitor, self._obs.metrics, self._total_retransmits
+            )
+
+    def _total_retransmits(self) -> int:
+        assert self.provider is not None and self.ttp is not None
+        return (
+            self.provider.retransmits_sent
+            + self.ttp.retransmits_sent
+            + sum(c.retransmits_sent for c in self.clients.values())
+        )
 
     def _schedule_workload(self) -> None:
         """Schedule every tenant's uploads inside the arrival window.
@@ -385,10 +448,13 @@ class SessionPool:
         assert self.sim is not None
         sim = self.sim
         obs = self._obs
+        monitor = self.monitor
         while sim.next_event_time() is not None:
             sim.run(until=sim.now + self.config.sample_interval)
             if obs.enabled:
                 obs.metrics.gauge("engine.inflight_sessions").set(self._inflight)
+                if monitor is not None:
+                    monitor.poll(sim.now)
 
     def run(self) -> PoolResult:
         """Build, schedule, drive, and summarize one pool run.
@@ -435,4 +501,5 @@ class SessionPool:
             p99_latency=p99,
             cache_stats=bundle.stats() if bundle is not None else None,
             obs=obs,
+            alerts=list(self.monitor.alerts) if self.monitor is not None else [],
         )

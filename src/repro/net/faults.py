@@ -431,6 +431,10 @@ class CampaignOutcome:
     elapsed: float = 0.0  # sim-clock seconds this plan's session took
     wal_replayed: int = 0  # WAL records replayed across its recoveries
     violations: tuple[str, ...] = ()
+    # Forensic findings from the ConsistencyAuditor (AuditFinding
+    # objects) when the runner was built with forensics=True; also
+    # excluded from row() so signatures stay comparable.
+    findings: tuple = ()
 
     @property
     def hung(self) -> bool:
@@ -462,6 +466,9 @@ class CampaignReport:
     seed: str
     scenario: str
     outcomes: list[CampaignOutcome] = field(default_factory=list)
+    # Anomaly alerts emitted during the run (anomaly=True); excluded
+    # from signature() like all telemetry-only surfaces.
+    alerts: list = field(default_factory=list)
 
     HEADERS = (
         "#", "plan", "faults", "status", "detail", "ttp",
@@ -476,6 +483,18 @@ class CampaignReport:
     @property
     def violation_count(self) -> int:
         return sum(len(o.violations) for o in self.outcomes)
+
+    @property
+    def finding_count(self) -> int:
+        return sum(len(o.findings) for o in self.outcomes)
+
+    def finding_categories(self) -> dict[str, int]:
+        """Forensic finding counts by category, across all plans."""
+        counts: dict[str, int] = {}
+        for o in self.outcomes:
+            for f in o.findings:
+                counts[f.category] = counts.get(f.category, 0) + 1
+        return dict(sorted(counts.items()))
 
     def status_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -529,14 +548,20 @@ class CampaignRunner:
         payload_range: tuple[int, int] = (64, 512),
         durable: bool = False,
         observe: bool = False,
+        forensics: bool = False,
+        anomaly: bool = False,
     ) -> None:
         if scenario not in ("session", "upload", "abort"):
             raise ValueError(f"unknown scenario {scenario!r}")
+        if anomaly and not observe:
+            raise ValueError("anomaly detection requires observe=True")
         self.seed = seed if isinstance(seed, str) else seed.decode("latin-1")
         self.scenario = scenario
         self.payload_range = payload_range
         self.durable = durable
         self.observe = observe
+        self.forensics = forensics
+        self.anomaly = anomaly
         self.deployment = None  # the shared deployment, exposed after run()
         self._rng = HmacDrbg(seed, personalization=b"fault-campaign")
 
@@ -554,6 +579,18 @@ class CampaignRunner:
             observe=self.observe,
         )
         self.deployment = dep
+        auditor = None
+        if self.forensics:
+            from ..obs.forensics import ConsistencyAuditor  # lazy: see render()
+
+            # exclusive_trace: the runner clears the trace per plan, so
+            # every wire event belongs to the plan under audit.
+            auditor = ConsistencyAuditor.for_deployment(dep, exclusive_trace=True)
+        monitor = None
+        if self.anomaly:
+            from ..obs.campaign import attach_campaign_detectors  # lazy: see render()
+
+            monitor = attach_campaign_detectors(dep.obs.monitor, dep.obs.metrics)
         report = CampaignReport(seed=self.seed, scenario=self.scenario)
         lo, hi = self.payload_range
         for index, plan in enumerate(plans):
@@ -573,6 +610,7 @@ class CampaignRunner:
             after = self._counters(dep)
             txn = outcome.transaction_id
             violations = self._audit(dep, txn, injector)
+            findings = () if auditor is None else tuple(auditor.audit(txn))
             download = outcome.download
             report.outcomes.append(
                 CampaignOutcome(
@@ -595,8 +633,12 @@ class CampaignRunner:
                         r.records_replayed for r in injector.recovery_reports
                     ),
                     violations=tuple(violations),
+                    findings=findings,
                 )
             )
+            if monitor is not None:
+                self._feed_anomaly_metrics(dep, report.outcomes[-1])
+                report.alerts.extend(monitor.poll(dep.sim.now))
         if dep.obs.enabled:
             from ..obs.campaign import record_campaign_metrics  # lazy: see render()
 
@@ -604,6 +646,20 @@ class CampaignRunner:
         return report
 
     # -- bookkeeping ---------------------------------------------------------
+
+    @staticmethod
+    def _feed_anomaly_metrics(dep: "Deployment", outcome: CampaignOutcome) -> None:
+        """Mirror one plan's outcome into the live campaign counters
+        the anomaly detectors window over."""
+        metrics = dep.obs.metrics
+        metrics.counter("campaign.live.retransmits").inc(outcome.retransmits)
+        if outcome.ttp_involved:
+            metrics.counter("campaign.live.escalations").inc()
+        ok = not outcome.hung and outcome.status != "failed"
+        metrics.counter(
+            "campaign.live.sessions", outcome="ok" if ok else "failed"
+        ).inc()
+        metrics.histogram("campaign.live.latency_seconds").observe(outcome.elapsed)
 
     @staticmethod
     def _counters(dep: "Deployment") -> tuple[int, int]:

@@ -33,14 +33,38 @@ per-fault-class retry/escalation/latency breakdowns.
 
 from __future__ import annotations
 
-from . import campaign, exporters, instrument, metrics, span
-from .campaign import breakdown_table, class_breakdown, fault_class, record_campaign_metrics
+from . import anomaly, campaign, exporters, forensics, instrument, metrics, span
+from .anomaly import (
+    Alert,
+    AnomalyMonitor,
+    BurnRateDetector,
+    QuantileThresholdDetector,
+    RateShiftDetector,
+    alerts_table,
+)
+from .campaign import (
+    attach_campaign_detectors,
+    breakdown_table,
+    class_breakdown,
+    fault_class,
+    record_campaign_metrics,
+)
 from .exporters import (
     metrics_jsonl,
     prometheus_text,
     span_tree_text,
     spans_jsonl,
     summary_table,
+    trace_jsonl,
+)
+from .forensics import (
+    AuditFinding,
+    ConsistencyAuditor,
+    DisputeDossier,
+    EvidenceFact,
+    Timeline,
+    TimelineEntry,
+    TimelineReconstructor,
 )
 from .instrument import CryptoObserver, observe_crypto
 from .metrics import (
@@ -56,11 +80,26 @@ from .span import NULL_TRACER, NullTracer, Span, Tracer
 __all__ = [
     "Observability",
     "NULL_OBS",
+    "anomaly",
     "campaign",
     "exporters",
+    "forensics",
     "instrument",
     "metrics",
     "span",
+    "Alert",
+    "AnomalyMonitor",
+    "RateShiftDetector",
+    "QuantileThresholdDetector",
+    "BurnRateDetector",
+    "alerts_table",
+    "AuditFinding",
+    "ConsistencyAuditor",
+    "DisputeDossier",
+    "EvidenceFact",
+    "Timeline",
+    "TimelineEntry",
+    "TimelineReconstructor",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
@@ -75,6 +114,7 @@ __all__ = [
     "observe_crypto",
     "spans_jsonl",
     "metrics_jsonl",
+    "trace_jsonl",
     "prometheus_text",
     "summary_table",
     "span_tree_text",
@@ -82,6 +122,7 @@ __all__ = [
     "class_breakdown",
     "breakdown_table",
     "record_campaign_metrics",
+    "attach_campaign_detectors",
 ]
 
 
@@ -93,6 +134,10 @@ class Observability:
     def __init__(self, clock=None) -> None:
         self.metrics = MetricsRegistry(clock)
         self.tracer = Tracer(clock)
+        # The anomaly seat: detectors are attached by whoever drives
+        # the deployment (pool, campaign runner); with none attached a
+        # poll is a no-op, so the seat costs nothing until used.
+        self.monitor = AnomalyMonitor(self.metrics, clock)
 
     def observe_crypto(self):
         """Scope crypto hot-path accounting to a ``with`` block."""
@@ -119,6 +164,7 @@ class NullObservability(Observability):
     def __init__(self) -> None:
         self.metrics = NULL_METRICS
         self.tracer = NULL_TRACER
+        self.monitor = AnomalyMonitor(NULL_METRICS)
 
 
 NULL_OBS = NullObservability()

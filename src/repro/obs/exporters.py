@@ -21,6 +21,7 @@ from .span import Span, Tracer
 __all__ = [
     "spans_jsonl",
     "metrics_jsonl",
+    "trace_jsonl",
     "prometheus_text",
     "summary_table",
     "span_tree_text",
@@ -39,6 +40,34 @@ def metrics_jsonl(registry: MetricsRegistry, deterministic_only: bool = False) -
     """The metrics snapshot, one JSON object per line."""
     rows = (registry.deterministic_snapshot() if deterministic_only
             else registry.snapshot())
+    return "".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        for row in rows
+    )
+
+
+def trace_jsonl(recorder) -> str:
+    """The wire-level trace, one JSON object per event, in wire order.
+
+    *recorder* is a :class:`repro.net.trace.TraceRecorder` (typed by
+    duck: anything with ``.events`` of TraceEvent-shaped records).
+    Keys are sorted and ``note`` is omitted when empty, so same-seed
+    runs export byte-identical documents.
+    """
+    rows = []
+    for event in recorder.events:
+        row = {
+            "time": event.time,
+            "action": event.action,
+            "src": event.src,
+            "dst": event.dst,
+            "kind": event.kind,
+            "size_bytes": event.size_bytes,
+            "msg_id": event.msg_id,
+        }
+        if event.note:
+            row["note"] = event.note
+        rows.append(row)
     return "".join(
         json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
         for row in rows
@@ -146,8 +175,13 @@ def span_tree_text(tracer: Tracer, trace_id: str) -> str:
 
 
 def _walk_one(span: Span, by_parent: dict[int, list[Span]], lines: list[str], depth: int) -> None:
-    end = f"{span.end:.4g}s" if span.end is not None else "open"
-    lines.append(f"{'  ' * depth}- {span.name} [{span.status}] {span.start:.4g}s -> {end}")
+    # A span with no end was cut off mid-flight: render it as
+    # "unfinished" so crash-interrupted work is visible at a glance.
+    if span.end is not None:
+        end, status = f"{span.end:.4g}s", span.status
+    else:
+        end, status = "open", "unfinished"
+    lines.append(f"{'  ' * depth}- {span.name} [{status}] {span.start:.4g}s -> {end}")
     for ev in span.events:
         tag = f" msg#{ev.msg_id}" if ev.msg_id else ""
         lines.append(f"{'  ' * (depth + 1)}. {ev.name}{tag} @{ev.time:.4g}s")

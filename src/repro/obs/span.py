@@ -82,7 +82,10 @@ class Span:
             "name": self.name,
             "start": self.start,
             "end": self.end,
-            "status": self.status,
+            # A span with no end was cut off mid-flight (crash, hung
+            # session): exports must say so explicitly instead of
+            # letting it masquerade as a finished span.
+            "status": self.status if self.end is not None else "unfinished",
             "attrs": dict(sorted(self.attrs.items())),
             "events": [ev.to_dict() for ev in self.events],
         }

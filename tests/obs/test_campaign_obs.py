@@ -60,6 +60,31 @@ class TestFaultClass:
         assert fault_class(amnesia) == "amnesia"
         assert fault_class(mixed) == "amnesia+rules"
 
+    def test_compound_crash_plus_rules_branches(self):
+        # Both compound crash branches: a plain-crash window plus wire
+        # rules, and the amnesia variant; the crash kind wins the prefix
+        # and the rules add the "+rules" suffix regardless of how many.
+        crash_rules = FaultPlan(
+            name="cr",
+            rules=(rule(FaultAction.DROP), rule(FaultAction.DELAY)),
+            crashes=(CrashWindow("bob", 0.0, 1.0),),
+        )
+        amnesia_rules = FaultPlan(
+            name="ar",
+            rules=(rule(FaultAction.CORRUPT),),
+            crashes=(CrashWindow("bob", 0.0, 1.0, amnesia=True),),
+        )
+        both_windows = FaultPlan(
+            name="bw",
+            rules=(rule(FaultAction.DROP),),
+            crashes=(CrashWindow("bob", 0.0, 1.0),
+                     CrashWindow("alice", 2.0, 1.0, amnesia=True)),
+        )
+        assert fault_class(crash_rules) == "crash+rules"
+        assert fault_class(amnesia_rules) == "amnesia+rules"
+        # Any amnesia window makes the whole plan an amnesia plan.
+        assert fault_class(both_windows) == "amnesia+rules"
+
 
 class TestClassBreakdown:
     def make_report(self) -> CampaignReport:
@@ -67,19 +92,25 @@ class TestClassBreakdown:
         amnesia = FaultPlan(
             name="amn-1", crashes=(CrashWindow("alice", 0.0, 1.0, amnesia=True),)
         )
+        crash_rules = FaultPlan(
+            name="cr-1",
+            rules=(rule(FaultAction.DELAY),),
+            crashes=(CrashWindow("bob", 0.0, 1.0),),
+        )
         report = CampaignReport(seed="s", scenario="upload")
         report.outcomes = [
             outcome(0, drop, retransmits=2, elapsed=4.0),
             outcome(1, drop, status="FAILED", ttp_involved=True,
                     retransmits=3, elapsed=8.0, violations=("v1",)),
             outcome(2, amnesia, recoveries=1, wal_replayed=5, elapsed=6.0),
+            outcome(3, crash_rules, retransmits=1, recoveries=1, elapsed=9.0),
         ]
         return report
 
     def test_aggregates_per_class(self):
         rows = class_breakdown(self.make_report())
-        assert [r["fault_class"] for r in rows] == ["amnesia", "drop"]
-        amnesia, drop = rows
+        assert [r["fault_class"] for r in rows] == ["amnesia", "crash+rules", "drop"]
+        amnesia, crash_rules, drop = rows
         assert drop["plans"] == 2
         assert drop["statuses"] == {"FAILED": 1, "STORED": 1}
         assert drop["retries"] == 5
@@ -91,11 +122,15 @@ class TestClassBreakdown:
         assert drop["latency"].count == 2
         assert amnesia["recoveries"] == 1
         assert amnesia["wal_replayed"] == 5
+        assert crash_rules["plans"] == 1
+        assert crash_rules["retries"] == 1
+        assert crash_rules["recoveries"] == 1
 
     def test_breakdown_table_renders_classes(self):
         text = breakdown_table(self.make_report())
         assert "Per-fault-class breakdown" in text
         assert "drop" in text and "amnesia" in text
+        assert "crash+rules" in text
         assert "FAILED:1 STORED:1" in text
 
     def test_record_campaign_metrics_mirrors_breakdown(self):
@@ -125,3 +160,48 @@ class TestObservedCampaigns:
         assert all(o.elapsed > 0 for o in report.outcomes)
         assert "Per-fault-class breakdown" in report.render()
         assert len(runner.deployment.obs.metrics.snapshot()) > 0
+
+
+class TestForensicCampaigns:
+    def test_forensics_attributes_every_failed_outcome(self):
+        plans = [FaultPlan(name="clean-noop")] + generate_plans(b"fr-attr", 8)
+        runner = CampaignRunner(seed=b"fr-attr", scenario="session",
+                                observe=True, forensics=True)
+        report = runner.run(plans)
+        for o in report.outcomes:
+            delivered = (o.status in ("completed", "resolved")
+                         and o.download_ok)
+            if not delivered:
+                assert o.findings, (
+                    f"plan {o.plan.name} failed with no classified finding"
+                )
+        assert report.outcomes[0].findings == ()  # no-op plan: no false positives
+        assert report.finding_count == sum(len(o.findings) for o in report.outcomes)
+        assert set(report.finding_categories()) <= {
+            "message-loss", "message-corruption", "message-delay",
+            "duplicate-injection", "amnesia-rollback", "crash-outage",
+            "in-storage-tampering", "trace-gap",
+        }
+
+    def test_forensics_and_alerts_do_not_change_the_signature(self):
+        plans = generate_plans(b"fr-parity", 5)
+        plain = CampaignRunner(seed=b"fr-parity", observe=True).run(plans)
+        forensic = CampaignRunner(seed=b"fr-parity", observe=True,
+                                  forensics=True, anomaly=True).run(plans)
+        assert plain.signature() == forensic.signature()
+
+    def test_anomaly_requires_observation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CampaignRunner(seed=b"x", anomaly=True)
+
+    def test_anomaly_alerts_are_deterministic(self):
+        plans = generate_plans(b"fr-alerts", 10)
+
+        def run():
+            report = CampaignRunner(seed=b"fr-alerts", scenario="session",
+                                    observe=True, anomaly=True).run(plans)
+            return [a.row() for a in report.alerts]
+
+        assert run() == run()

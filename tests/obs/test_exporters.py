@@ -92,3 +92,113 @@ class TestHumanRenderings:
 
     def test_span_tree_text_empty_trace(self):
         assert "no spans" in span_tree_text(Tracer(), "missing")
+
+
+class TestTraceJsonl:
+    """The wire-trace exporter: one sorted-key JSON object per event."""
+
+    def observed_upload(self, seed: bytes):
+        from repro.core.protocol import make_deployment, run_upload
+
+        dep = make_deployment(seed=seed, observe=True, durable=True)
+        run_upload(dep, b"trace export payload")
+        return dep
+
+    def test_one_valid_object_per_event_with_sorted_keys(self):
+        from repro.obs.exporters import trace_jsonl
+
+        dep = self.observed_upload(b"trace-jsonl")
+        lines = trace_jsonl(dep.network.trace).splitlines()
+        assert len(lines) == len(dep.network.trace.events)
+        for line in lines:
+            parsed = json.loads(line)
+            assert list(parsed) == sorted(parsed)
+            assert {"time", "action", "src", "dst", "kind",
+                    "size_bytes", "msg_id"} <= set(parsed)
+
+    def test_note_omitted_when_empty_and_kept_when_set(self):
+        from repro.net.faults import FaultAction, FaultInjector, FaultPlan, FaultRule
+        from repro.core.protocol import make_deployment, run_upload
+        from repro.obs.exporters import trace_jsonl
+
+        dep = make_deployment(seed=b"trace-note", observe=True)
+        plan = FaultPlan(
+            name="note-plan",
+            rules=(FaultRule(FaultAction.DROP, "tpnr.upload.receipt"),),
+        )
+        injector = FaultInjector(plan)
+        dep.network.install_adversary(injector)
+        injector.reset(epoch=dep.sim.now)
+        run_upload(dep, b"noted payload")
+        dep.network.remove_adversary()
+        parsed = [json.loads(l) for l in trace_jsonl(dep.network.trace).splitlines()]
+        noted = [p for p in parsed if "note" in p]
+        assert noted, "fault decisions must carry their note"
+        assert any("plan=note-plan" in p["note"] for p in noted)
+        assert all(p["note"] for p in noted)  # empty notes are omitted
+
+    def test_same_seed_exports_identical_bytes(self):
+        from repro.obs.exporters import trace_jsonl
+
+        first = trace_jsonl(self.observed_upload(b"trace-stable").network.trace)
+        second = trace_jsonl(self.observed_upload(b"trace-stable").network.trace)
+        assert first == second
+
+    def test_empty_trace_exports_empty(self):
+        from repro.net.trace import TraceRecorder
+        from repro.obs.exporters import trace_jsonl
+
+        assert trace_jsonl(TraceRecorder()) == ""
+
+
+class TestUnfinishedSpans:
+    """A span with no end must export as status="unfinished"."""
+
+    def mid_crash_deployment(self):
+        # Telemetry snapshotted mid-transaction: bob is inside an
+        # amnesia-crash window, so the transaction/resolve spans are
+        # still open when we export.
+        from repro.core.protocol import make_deployment
+        from repro.net.faults import CrashWindow, FaultInjector, FaultPlan
+
+        dep = make_deployment(seed=b"unfinished", observe=True, durable=True)
+        plan = FaultPlan(
+            name="mid-crash",
+            crashes=(CrashWindow("bob", 0.0, 50.0, amnesia=True),),
+        )
+        injector = FaultInjector(plan)
+        dep.network.install_adversary(injector)
+        injector.reset(epoch=dep.sim.now)
+        txn = dep.client.upload(dep.provider.name, b"cut-off payload")
+        dep.run(until=5.0)
+        return dep, txn
+
+    def test_spans_jsonl_marks_open_spans_unfinished(self):
+        dep, _ = self.mid_crash_deployment()
+        parsed = [json.loads(l) for l in spans_jsonl(dep.obs.tracer).splitlines()]
+        unfinished = [p for p in parsed if p["status"] == "unfinished"]
+        assert unfinished
+        assert all(p["end"] is None for p in unfinished)
+        assert "tpnr.transaction" in {p["name"] for p in unfinished}
+
+    def test_span_tree_text_marks_open_spans_unfinished(self):
+        dep, txn = self.mid_crash_deployment()
+        text = span_tree_text(dep.obs.tracer, txn)
+        assert "[unfinished]" in text
+
+    def test_finished_spans_keep_their_status(self):
+        dep, txn = self.mid_crash_deployment()
+        dep.run()  # settle: recovery closes every span
+        parsed = [json.loads(l) for l in spans_jsonl(dep.obs.tracer).splitlines()]
+        assert all(p["status"] != "unfinished" for p in parsed)
+
+    def test_unit_level_unfinished_span(self):
+        t = Tracer()
+        root = t.start("txn-u", "root")
+        done = t.start("txn-u", "child")
+        t.finish(done)
+        parsed = {p["name"]: p for p in
+                  (json.loads(l) for l in spans_jsonl(t).splitlines())}
+        assert parsed["root"]["status"] == "unfinished"
+        assert parsed["child"]["status"] == "ok"
+        assert root.status == "open"  # the in-memory span is untouched
