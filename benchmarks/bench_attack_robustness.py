@@ -1,10 +1,13 @@
 """S5 — §5: the attack x target robustness matrix."""
 
-from repro.analysis.experiments import experiment_attacks
+from repro.scenarios import SCENARIOS
+
+S5 = SCENARIOS.get("S5")
 
 
 def test_bench_attacks(benchmark, emit):
-    result = benchmark.pedantic(experiment_attacks, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: S5.run(), rounds=1, iterations=1)
     assert result.facts["tpnr_defense_holds"]
     assert result.facts["weakened_all_fall"]
+    assert result.meta["run_key"] == S5.run_key()
     emit(result)

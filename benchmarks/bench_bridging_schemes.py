@@ -1,12 +1,15 @@
 """S3 — the §3 bridging-scheme comparison (TAC x SKS matrix)."""
 
-from repro.analysis.experiments import experiment_bridging
+from repro.scenarios import SCENARIOS
+
+S3 = SCENARIOS.get("S3")
 
 
 def test_bench_bridging(benchmark, emit):
-    result = benchmark.pedantic(experiment_bridging, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: S3.run(), rounds=2, iterations=1)
     assert result.facts["plain/tamper_verdict"] == "undetected"
     for scheme in ("nn", "sks", "tac", "both"):
         assert result.facts[f"{scheme}/tamper_verdict"] == "provider-at-fault"
         assert result.facts[f"{scheme}/blackmail_verdict"] == "claim-rejected"
+    assert result.meta["run_key"] == S3.run_key()
     emit(result)

@@ -1,14 +1,19 @@
-"""CR1 — extension: amnesia-crash recovery campaign over durable TPNR sessions."""
+"""CR1 — extension: amnesia-crash recovery campaign over durable TPNR
+sessions, run through the scenario registry (spec + run_key in
+``repro.scenarios``)."""
 
-from repro.analysis.experiments import experiment_crash_recovery
+from repro.scenarios import SCENARIOS
+
+CR1 = SCENARIOS.get("CR1")
 
 
 def test_bench_crash_recovery(benchmark, emit):
-    result = benchmark.pedantic(experiment_crash_recovery, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: CR1.run(), rounds=1, iterations=1)
     assert result.facts["all_settled"]
     assert result.facts["hung_sessions"] == 0
     assert result.facts["violations"] == 0
     assert result.facts["no_evidence_lost"]
     assert result.facts["plans"] >= 100
     assert result.facts["recoveries"] == result.facts["crashes"] >= 100
+    assert result.meta["run_key"] == CR1.run_key()
     emit(result)

@@ -1,11 +1,14 @@
 """A1 — ablation: outer encryption of evidence (DESIGN.md §5.1)."""
 
-from repro.analysis.experiments import experiment_evidence_ablation
+from repro.scenarios import SCENARIOS
+
+A1 = SCENARIOS.get("A1")
 
 
 def test_bench_evidence_ablation(benchmark, emit):
-    result = benchmark.pedantic(experiment_evidence_ablation, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: A1.run(), rounds=2, iterations=1)
     assert result.facts["encrypted evidence/exposed"] is False
     assert result.facts["plain evidence/exposed"] is True
     assert result.facts["encryption_overhead_bytes"] > 0
+    assert result.meta["run_key"] == A1.run_key()
     emit(result)

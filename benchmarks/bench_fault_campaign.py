@@ -1,12 +1,21 @@
-"""FC1 — extension: seeded fault-injection campaign over TPNR sessions."""
+"""FC1 — extension: seeded fault-injection campaign over TPNR sessions.
 
-from repro.analysis.experiments import experiment_fault_campaign
+Runs through the scenario registry: the FC1 spec (workload knobs, root
+seed) lives in ``repro.scenarios``, and the emitted artifact carries
+the content-addressed run_key the spec derives.
+"""
+
+from repro.scenarios import SCENARIOS
+
+FC1 = SCENARIOS.get("FC1")
 
 
 def test_bench_fault_campaign(benchmark, emit):
-    result = benchmark.pedantic(experiment_fault_campaign, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: FC1.run(), rounds=1, iterations=1)
     assert result.facts["all_settled"]
     assert result.facts["hung_sessions"] == 0
     assert result.facts["violations"] == 0
     assert result.facts["plans"] >= 50
+    assert result.meta["run_key"] == FC1.run_key()
+    assert result.meta["seed"] == FC1.spec.root_seed  # rep 0 = root seed
     emit(result)

@@ -1,9 +1,12 @@
 """F1 — Fig. 1: the cloud principle (clients -> Internet -> services)."""
 
-from repro.analysis.experiments import experiment_fig1
+from repro.scenarios import SCENARIOS
+
+F1 = SCENARIOS.get("F1")
 
 
 def test_bench_fig1(benchmark, emit):
-    result = benchmark(experiment_fig1)
+    result = benchmark(lambda: F1.run())
     assert result.facts["all_answered"]
+    assert result.meta["run_key"] == F1.run_key()
     emit(result)

@@ -1,9 +1,12 @@
 """F2 — Fig. 2: the AWS Import/Export manifest/signature/shipping flow."""
 
-from repro.analysis.experiments import experiment_fig2
+from repro.scenarios import SCENARIOS
+
+F2 = SCENARIOS.get("F2")
 
 
 def test_bench_fig2(benchmark, emit):
-    result = benchmark.pedantic(experiment_fig2, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: F2.run(), rounds=2, iterations=1)
     assert result.facts["all_jobs_completed"]
+    assert result.meta["run_key"] == F2.run_key()
     emit(result)

@@ -1,11 +1,14 @@
 """F3 — Fig. 3: the Azure secure data access procedure."""
 
-from repro.analysis.experiments import experiment_fig3
+from repro.scenarios import SCENARIOS
+
+F3 = SCENARIOS.get("F3")
 
 
 def test_bench_fig3(benchmark, emit):
-    result = benchmark(experiment_fig3)
+    result = benchmark(lambda: F3.run())
     assert result.facts["round_trip_ok"]
     assert result.facts["wrong_key_rejected"]
     assert result.facts["secret_key_bits"] == 256
+    assert result.meta["run_key"] == F3.run_key()
     emit(result)

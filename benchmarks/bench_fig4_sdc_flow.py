@@ -1,12 +1,15 @@
 """F4 — Fig. 4: the Google SDC work flow."""
 
-from repro.analysis.experiments import experiment_fig4
+from repro.scenarios import SCENARIOS
+
+F4 = SCENARIOS.get("F4")
 
 
 def test_bench_fig4(benchmark, emit):
-    result = benchmark.pedantic(experiment_fig4, rounds=3, iterations=1)
+    result = benchmark.pedantic(lambda: F4.run(), rounds=3, iterations=1)
     assert result.facts["authorized_allowed"]
     assert result.facts["rule_enforced"]
     assert result.facts["tunnel_enforced"]
     assert result.facts["replay_blocked"]
+    assert result.meta["run_key"] == F4.run_key()
     emit(result)

@@ -1,8 +1,10 @@
 """F6 — Fig. 6: the four TPNR work flows (Normal/Abort/Resolve/Dispute)."""
 
 from repro.analysis.diagram import sequence_diagram
-from repro.analysis.experiments import experiment_fig6
 from repro.core import ProviderBehavior, make_deployment, run_abort, run_upload
+from repro.scenarios import SCENARIOS
+
+F6 = SCENARIOS.get("F6")
 
 
 def _flow_diagrams() -> str:
@@ -26,7 +28,8 @@ def _flow_diagrams() -> str:
 
 
 def test_bench_fig6(benchmark, emit):
-    result = benchmark.pedantic(experiment_fig6, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: F6.run(), rounds=2, iterations=1)
+    assert result.meta["run_key"] == F6.run_key()
     assert result.facts["normal_steps"] == 2
     assert result.facts["normal_offline_ttp"]
     assert result.facts["abort_status"] == "aborted"

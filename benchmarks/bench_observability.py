@@ -7,6 +7,11 @@ running the TPNR hot path with the no-op observability seat costs at
 most a few percent over what an uninstrumented build would, because
 every hook is one attribute load plus one branch.
 
+Both halves run under the OB1 scenario spec: the artifact is
+``SCENARIOS.run("OB1")`` (root seed, identity-stamped), and the
+overhead probe runs inside the spec's ``overhead`` stage context so its
+seed is the PT-002 stage derivation and its result carries the run key.
+
 The overhead measurement compares many disabled-seat sessions against
 fully-enabled sessions on fresh deployments (same seed), then checks
 the *disabled* mean against the enabled mean: disabled must never be
@@ -19,9 +24,11 @@ case, which is itself the disabled path).
 
 import time
 
-from repro.analysis.experiments import ExperimentResult, experiment_observability, run_meta
+from repro.analysis.experiments import ExperimentResult, run_meta
 from repro.core.protocol import make_deployment, run_session
+from repro.scenarios import SCENARIOS
 
+OB1 = SCENARIOS.get("OB1")
 SESSIONS = 12
 PAYLOAD = b"overhead probe payload " * 32
 
@@ -40,11 +47,12 @@ def _time_sessions(observe: bool, seed_tag: bytes) -> float:
 
 
 def test_bench_observability(benchmark, emit):
-    result = benchmark.pedantic(experiment_observability, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: OB1.run(), rounds=1, iterations=1)
     assert result.facts["all_trees_complete"]
     assert result.facts["metrics_nonempty"]
     assert result.facts["crypto_observed"]
     assert result.facts["crash-resume/recovery_spans"] >= 1
+    assert result.meta["run_key"] == OB1.run_key()
     emit(result)
 
 
@@ -56,35 +64,37 @@ def test_bench_observability_disabled_overhead(emit):
     than 3% slower than the fully-instrumented one, the null-object
     guards have grown real work and the off-by-default promise is gone.
     """
-    _time_sessions(False, b"ovh-warm")  # warm caches/allocator before timing
-    samples = [
-        (_time_sessions(False, b"ovh-off"), _time_sessions(True, b"ovh-on"))
-        for _ in range(5)
-    ]
-    disabled = min(s[0] for s in samples)
-    enabled = min(s[1] for s in samples)
-    ratio = disabled / enabled
-    rows = [
-        ["disabled (NULL_OBS seat)", f"{disabled:.4f}", f"{disabled / SESSIONS * 1e3:.2f}"],
-        ["enabled (live registry+tracer)", f"{enabled:.4f}", f"{enabled / SESSIONS * 1e3:.2f}"],
-        ["disabled/enabled ratio", f"{ratio:.3f}", "-"],
-    ]
-    result = ExperimentResult(
-        experiment_id="OB1-overhead",
-        title="Observability disabled-path overhead on the TPNR hot path",
-        headers=["configuration", f"wall s ({SESSIONS} sessions)", "ms/session"],
-        rows=rows,
-        facts={
-            "disabled_seconds": disabled,
-            "enabled_seconds": enabled,
-            "disabled_over_enabled": ratio,
-            "within_bound": ratio <= 1.03,
-        },
-        notes="Instrumented code guards with one attribute load + one branch "
-        "when the seat holds NULL_OBS; the disabled path must stay within "
-        "3% of the fastest configuration.",
-        meta=run_meta(b"ovh"),
-    )
+    with OB1.stage_context("overhead") as seed:
+        _time_sessions(False, seed + b"/warm")  # warm caches before timing
+        samples = [
+            (_time_sessions(False, seed + b"/off"),
+             _time_sessions(True, seed + b"/on"))
+            for _ in range(5)
+        ]
+        disabled = min(s[0] for s in samples)
+        enabled = min(s[1] for s in samples)
+        ratio = disabled / enabled
+        rows = [
+            ["disabled (NULL_OBS seat)", f"{disabled:.4f}", f"{disabled / SESSIONS * 1e3:.2f}"],
+            ["enabled (live registry+tracer)", f"{enabled:.4f}", f"{enabled / SESSIONS * 1e3:.2f}"],
+            ["disabled/enabled ratio", f"{ratio:.3f}", "-"],
+        ]
+        result = ExperimentResult(
+            experiment_id="OB1-overhead",
+            title="Observability disabled-path overhead on the TPNR hot path",
+            headers=["configuration", f"wall s ({SESSIONS} sessions)", "ms/session"],
+            rows=rows,
+            facts={
+                "disabled_seconds": disabled,
+                "enabled_seconds": enabled,
+                "disabled_over_enabled": ratio,
+                "within_bound": ratio <= 1.03,
+            },
+            notes="Instrumented code guards with one attribute load + one branch "
+            "when the seat holds NULL_OBS; the disabled path must stay within "
+            "3% of the fastest configuration.",
+            meta=run_meta(seed),
+        )
     emit(result)
     assert ratio <= 1.03, (
         f"disabled observability cost {ratio:.3f}x the enabled path; "

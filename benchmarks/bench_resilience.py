@@ -1,11 +1,14 @@
 """R1 — extension: resilience of TPNR outcomes to message loss."""
 
-from repro.analysis.experiments import experiment_resilience
+from repro.scenarios import SCENARIOS
+
+R1 = SCENARIOS.get("R1")
 
 
 def test_bench_resilience(benchmark, emit):
-    result = benchmark.pedantic(experiment_resilience, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: R1.run(), rounds=1, iterations=1)
     assert result.facts["all_terminated"]
     assert result.facts["lossless_perfect"]
     assert result.facts["monotone_pressure"]
+    assert result.meta["run_key"] == R1.run_key()
     emit(result)

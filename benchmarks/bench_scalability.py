@@ -1,12 +1,15 @@
 """W1 — extension: multi-client scalability under concurrent load."""
 
-from repro.analysis.experiments import experiment_scalability
+from repro.scenarios import SCENARIOS
+
+W1 = SCENARIOS.get("W1")
 
 
 def test_bench_scalability(benchmark, emit):
-    result = benchmark.pedantic(experiment_scalability, rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: W1.run(), rounds=1, iterations=1)
     assert result.facts["linear_messages"]
     for n in (1, 2, 4, 8):
         assert result.facts[f"{n}/success_rate"] == 1.0
         assert result.facts[f"{n}/terminated"]
+    assert result.meta["run_key"] == W1.run_key()
     emit(result)

@@ -1,10 +1,13 @@
 """S6 — §6: TPNR protocol time vs surface-mail shipping time."""
 
-from repro.analysis.experiments import experiment_shipping
+from repro.scenarios import SCENARIOS
+
+S6 = SCENARIOS.get("S6")
 
 
 def test_bench_shipping(benchmark, emit):
-    result = benchmark.pedantic(experiment_shipping, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: S6.run(), rounds=2, iterations=1)
     assert result.facts["protocol_is_trivial"]
     assert result.facts["max_fraction"] < 1e-3
+    assert result.meta["run_key"] == S6.run_key()
     emit(result)

@@ -1,13 +1,16 @@
 """T1 — regenerate Table 1: Azure-style REST PUT/GET with SharedKey auth."""
 
-from repro.analysis.experiments import experiment_table1
+from repro.scenarios import SCENARIOS
+
+T1 = SCENARIOS.get("T1")
 
 
 def test_bench_table1(benchmark, emit):
-    result = benchmark(experiment_table1)
+    result = benchmark(lambda: T1.run())
     assert result.facts["put_ok"] and result.facts["get_ok"]
     assert result.facts["forged_rejected"]
     assert result.facts["md5_round_tripped"]
+    assert result.meta["run_key"] == T1.run_key()
     emit(result, extra="\n--- rendered PUT request (Table 1 layout) ---\n"
                        + result.facts["put_rendered"]
                        + "\n\n--- rendered GET request ---\n"

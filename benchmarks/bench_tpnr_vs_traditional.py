@@ -1,14 +1,17 @@
 """S4 — §4.4: TPNR (2 steps, off-line TTP) vs traditional NR (4+ steps,
 on-line TTP): message counts, bytes on the wire, simulated latency."""
 
-from repro.analysis.experiments import experiment_step_counts
+from repro.scenarios import SCENARIOS
+
+S4 = SCENARIOS.get("S4")
 
 
 def test_bench_step_counts(benchmark, emit):
-    result = benchmark.pedantic(experiment_step_counts, rounds=2, iterations=1)
+    result = benchmark.pedantic(lambda: S4.run(), rounds=2, iterations=1)
     assert result.facts["tpnr_always_fewer_steps"]
     for size in (1 << 10, 1 << 14, 1 << 18):
         assert result.facts[f"{size}/tpnr_steps"] == 2
         assert result.facts[f"{size}/zg_steps"] == 5
         assert result.facts[f"{size}/tpnr_latency"] < result.facts[f"{size}/zg_latency"]
+    assert result.meta["run_key"] == S4.run_key()
     emit(result)

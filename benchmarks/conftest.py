@@ -14,6 +14,7 @@ import pathlib
 import pytest
 
 from repro.analysis.report import render_table
+from repro.scenarios.gate import promote
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -46,32 +47,22 @@ def emit(results_dir):
 
 @pytest.fixture
 def perf_trajectory(results_dir):
-    """Record one performance-trajectory point in BENCH_PERF.json.
+    """Promote one performance-trajectory point into BENCH_PERF.json.
 
-    The file is a list of entries keyed by ``(experiment_id,
-    repo_version)``; re-running a bench at the same version replaces
-    its point instead of appending a duplicate, so the list reads as
-    one point per version — the repo's perf history over releases.
+    Promotion is **gated** (``repro.scenarios.gate``): the entry's
+    run_key must match the registered spec, its seed must be the
+    PT-002 derivation for its stage, and every invariance check the
+    spec declares must be recorded as passing — otherwise the fixture
+    raises and nothing is written.  The file keeps one point per
+    ``(experiment_id, repo_version)``; re-running a bench at the same
+    version replaces its point, so the list reads as one point per
+    version — the repo's perf history over releases.
     """
 
     def _record(entry: dict) -> pathlib.Path:
-        return append_perf_entry(results_dir, entry)
+        return promote(results_dir / "BENCH_PERF.json", entry)
 
     return _record
-
-
-def append_perf_entry(results_dir: pathlib.Path, entry: dict) -> pathlib.Path:
-    path = results_dir / "BENCH_PERF.json"
-    entries = json.loads(path.read_text()) if path.exists() else []
-    key = (entry.get("experiment_id"), entry.get("repo_version"))
-    entries = [
-        e for e in entries
-        if (e.get("experiment_id"), e.get("repo_version")) != key
-    ]
-    entries.append(entry)
-    entries.sort(key=lambda e: (str(e.get("experiment_id")), str(e.get("repo_version"))))
-    path.write_text(json.dumps(entries, indent=2, sort_keys=True, default=repr) + "\n")
-    return path
 
 
 def write_json(results_dir: pathlib.Path, result) -> None:

@@ -28,6 +28,10 @@ Subpackages
     The §5 attack classes and the gauntlet harness.
 ``repro.analysis``
     Experiment runners for every table/figure and report rendering.
+``repro.scenarios``
+    The scenario control plane: declarative specs, PT-002 seed
+    derivation, content-addressed run keys, and the fail-closed
+    benchmark promotion gate.
 
 Quickstart
 ----------
@@ -41,7 +45,7 @@ True
 True
 """
 
-from . import analysis, attacks, baselines, bridging, core, crypto, errors, net, obs, storage
+from . import analysis, attacks, baselines, bridging, core, crypto, errors, net, obs, scenarios, storage
 from .core import (
     Arbitrator,
     Deployment,
@@ -65,7 +69,7 @@ from .core import (
 )
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -77,6 +81,7 @@ __all__ = [
     "errors",
     "net",
     "obs",
+    "scenarios",
     "storage",
     "Arbitrator",
     "Deployment",

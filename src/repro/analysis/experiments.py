@@ -91,8 +91,18 @@ class ExperimentResult:
 def run_meta(seed: bytes, sim_duration: float | None = None) -> dict[str, Any]:
     """Provenance stamp for a result: the seed it is reproducible from,
     the repo version that produced it, and (when one simulation drove
-    the experiment) the simulated-clock duration of that run."""
-    from .. import __version__  # lazy: repro/__init__ imports this module
+    the experiment) the simulated-clock duration of that run.
+
+    When the run executes under the scenario registry (or inside a
+    benchmark ``stage_context``), the active
+    :class:`~repro.scenarios.context.RunStamp` is folded in, so every
+    writer emits the same ``run_key``/``seed``/``repo_version`` block
+    without knowing about the registry.
+    """
+    # Lazy imports: repro/__init__ imports this module, and the
+    # scenario registry imports the runners defined here.
+    from .. import __version__
+    from ..scenarios.context import current_stamp
 
     meta: dict[str, Any] = {
         "seed": seed.decode("latin-1"),
@@ -100,6 +110,12 @@ def run_meta(seed: bytes, sim_duration: float | None = None) -> dict[str, Any]:
     }
     if sim_duration is not None:
         meta["sim_duration"] = sim_duration
+    stamp = current_stamp()
+    if stamp is not None:
+        meta.update(stamp.as_meta())
+        # The stamp's derived seed is authoritative only if it is the
+        # seed this run actually used; a mismatch must stay visible.
+        meta["seed"] = seed.decode("latin-1")
     return meta
 
 

@@ -22,6 +22,14 @@ Commands
     Sweep the multi-tenant session engine over tenant counts, print
     wall tx/sec and sim-time latency percentiles per point, and compare
     against the uncached one-deployment-per-transaction baseline.
+``scenario list | describe <id> | run <id> [--rep N] [--json] | gate``
+    The scenario control plane.  ``list`` shows every registered
+    scenario with its content-addressed run key; ``describe`` prints a
+    spec's canonical form, run key, and derived seeds; ``run``
+    executes a registered scenario (identity-stamped, derived seed);
+    ``gate`` re-derives every run key and replays the fail-closed
+    eligibility gate over ``BENCH_PERF.json``, exiting non-zero on any
+    mismatch.
 ``forensics [--tamper] [--selftest] [--plans N] [--seed S]``
     Reconstruct one observed session's cross-surface timeline and
     print its dispute dossier (reconstructed verdict cross-checked
@@ -36,7 +44,6 @@ import argparse
 import sys
 from typing import Callable
 
-from .analysis import experiments as exp
 from .analysis.diagram import sequence_diagram
 from .analysis.report import render_kv, render_table
 from .analysis.workload import WorkloadSpec, run_workload
@@ -51,30 +58,17 @@ from .core import (
     run_upload,
 )
 from .net.channel import ChannelSpec
+from .scenarios import SCENARIOS
 from .storage.tamper import TamperMode
 
 __all__ = ["main", "EXPERIMENTS"]
 
+# The scenario registry is the single source of truth; the flat
+# id -> (runner, title) view survives for ad-hoc `repro experiment`
+# runs with a caller-chosen seed (unregistered, hence unstamped).
 EXPERIMENTS: dict[str, tuple[Callable, str]] = {
-    "T1": (exp.experiment_table1, "Table 1 — REST PUT/GET with SharedKey auth"),
-    "F1": (exp.experiment_fig1, "Fig. 1 — cloud computing principle"),
-    "F2": (exp.experiment_fig2, "Fig. 2 — AWS Import/Export flow"),
-    "F3": (exp.experiment_fig3, "Fig. 3 — Azure secure data access"),
-    "F4": (exp.experiment_fig4, "Fig. 4 — Google SDC work flow"),
-    "F5": (exp.experiment_fig5, "Fig. 5 — the integrity vulnerability"),
-    "F6": (exp.experiment_fig6, "Fig. 6 — TPNR work flows"),
-    "S3": (exp.experiment_bridging, "§3 — bridging schemes (TAC x SKS)"),
-    "S4": (exp.experiment_step_counts, "§4.4 — TPNR vs traditional NR"),
-    "S5": (exp.experiment_attacks, "§5 — attack robustness matrix"),
-    "S6": (exp.experiment_shipping, "§6 — protocol vs shipping time"),
-    "W1": (exp.experiment_scalability, "extension — multi-client scalability"),
-    "R1": (exp.experiment_resilience, "extension — loss resilience"),
-    "A1": (exp.experiment_evidence_ablation, "ablation — evidence encryption"),
-    "FC1": (exp.experiment_fault_campaign, "extension — fault-injection campaign"),
-    "CR1": (exp.experiment_crash_recovery, "extension — amnesia-crash recovery campaign"),
-    "OB1": (exp.experiment_observability, "extension — observability span trees + metrics"),
-    "OB2": (exp.experiment_forensics, "extension — forensic timelines + consistency audit"),
-    "TP1": (exp.experiment_throughput, "extension — multi-tenant throughput engine"),
+    scenario.spec.scenario_id: (scenario.runner, scenario.spec.title)
+    for scenario in SCENARIOS
 }
 
 
@@ -254,6 +248,74 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0 if dossier.agrees(dep.arbitrator, "tampering") else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """The scenario control plane: list/describe/run/gate."""
+    import json
+    import pathlib
+
+    from .scenarios import PromotionError, audit_file, canonical_result_json
+
+    if args.action == "list":
+        print(render_table(
+            ["id", "root seed", "reps", "stages", "run_key"],
+            [[s.spec.scenario_id, s.spec.root_seed, s.spec.repetitions,
+              ",".join(s.spec.stages) or "-", s.run_key()[:16] + "..."]
+             for s in SCENARIOS],
+            title="Registered scenarios (run with: python -m repro scenario run <id>)",
+        ))
+        return 0
+
+    if args.action == "describe":
+        scenario = SCENARIOS.get(args.id)
+        print(json.dumps(scenario.describe(), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "run":
+        scenario = SCENARIOS.get(args.id)
+        result = scenario.run(repetition=args.rep)
+        if args.json:
+            print(canonical_result_json(result, scenario.spec))
+        else:
+            print(render_table(result.headers, result.rows,
+                               title=f"[{result.experiment_id}] {result.title}"))
+            if result.notes:
+                print(f"Note: {result.notes}")
+            print(render_kv(
+                [
+                    ("run_key", result.meta["run_key"]),
+                    ("seed", result.meta["seed"]),
+                    ("repetition", result.meta["repetition"]),
+                    ("seed scheme", result.meta["seed_scheme"]),
+                ],
+                title="Run identity",
+            ))
+        return 0
+
+    # gate: re-derive every run key, then replay eligibility over the
+    # recorded trajectory.  Fail-closed — any mismatch is exit 1.
+    path = pathlib.Path(args.results) / "BENCH_PERF.json"
+    derived = [[s.spec.scenario_id, s.run_key()[:16] + "...",
+                s.seed("experiment", 0).decode("latin-1")]
+               for s in SCENARIOS]
+    print(render_table(["scenario", "run_key (re-derived)", "rep-0 seed"],
+                       derived, title="Run-key derivation sweep"))
+    try:
+        reports = audit_file(path)
+    except PromotionError as exc:
+        print(f"\nGATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    rows = [[r["experiment_id"], r["status"],
+             ", ".join(r.get("checked", [])) or "-"] for r in reports]
+    print()
+    print(render_table(["point", "status", "checks replayed"], rows,
+                       title=f"Eligibility replay over {path}"))
+    accepted = sum(1 for r in reports if r["status"] == "accepted")
+    legacy = sum(1 for r in reports if r["status"] == "legacy-pre-gate")
+    print(f"\n{len(reports)} points: {accepted} accepted, {legacy} legacy-pre-gate; "
+          "gate holds")
+    return 0
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     """Sweep the session engine and compare against the baseline."""
     from .engine import TenantDirectory, run_baseline, run_pool
@@ -356,6 +418,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the crypto caches (signature/KEM)")
     p_t.add_argument("--seed", default="cli", help="determinism seed")
     p_t.set_defaults(func=_cmd_throughput)
+
+    p_s = sub.add_parser("scenario",
+                         help="scenario control plane: list/describe/run/gate")
+    s_sub = p_s.add_subparsers(dest="action", required=True)
+    s_sub.add_parser("list", help="list registered scenarios with run keys")
+    p_sd = s_sub.add_parser("describe", help="canonical spec + derived seeds")
+    p_sd.add_argument("id", help="scenario id, e.g. FC1")
+    p_sr = s_sub.add_parser("run", help="run a registered scenario")
+    p_sr.add_argument("id", help="scenario id, e.g. FC1")
+    p_sr.add_argument("--rep", type=int, default=0,
+                      help="repetition index (PT-002 derived seed)")
+    p_sr.add_argument("--json", action="store_true",
+                      help="print the canonical result JSON instead of the table")
+    p_sg = s_sub.add_parser("gate",
+                            help="re-derive run keys + replay the promotion gate")
+    p_sg.add_argument("--results", default="benchmarks/results",
+                      help="directory holding BENCH_PERF.json")
+    p_s.set_defaults(func=_cmd_scenario)
     return parser
 
 

@@ -1,0 +1,289 @@
+"""The scenario registry: every experiment the repo can run, as data.
+
+One :class:`ScenarioRegistry` maps scenario ids to
+:class:`~repro.scenarios.spec.ScenarioSpec` + resolved runner pairs.
+The registry is what turns a spec into a run:
+
+* it introspects the runner's signature so workload knobs are
+  validated against the code and knob *defaults* never have to be
+  restated (they fold out of the run key — see ``canonical_spec``);
+* :meth:`RegisteredScenario.run` derives the repetition seed, installs
+  the :class:`~repro.scenarios.context.RunStamp` so every metadata
+  writer emits the run identity, and calls the runner;
+* :meth:`RegisteredScenario.stage_context` does the same for auxiliary
+  benchmark stages (the TP1 perf sweep, the OB2 cost probe), which is
+  how every ``BENCH_PERF.json`` point is born already stamped;
+* :func:`canonical_result_json` serializes an
+  :class:`~repro.analysis.experiments.ExperimentResult` byte-stably
+  (sorted keys, nondeterministic meta stripped) — the form the
+  cross-seed determinism tests compare.
+
+``DEFAULT_REGISTRY`` registers all nineteen experiments; the five
+campaign/engine scenarios (FC1, CR1, OB1, OB2, TP1) carry the richer
+specs (workload knobs, stages, invariance contracts).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import inspect
+import json
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import ReproError
+from .context import RunStamp, stamped
+from .seeds import SEED_SCHEME
+from .spec import ScenarioSpec, compute_run_key
+
+__all__ = [
+    "RegisteredScenario",
+    "ScenarioRegistry",
+    "DEFAULT_REGISTRY",
+    "SCENARIOS",
+    "canonical_result_json",
+]
+
+
+def runner_defaults(runner: Callable) -> dict[str, Any]:
+    """The runner's own keyword defaults, ``seed`` excluded."""
+    return {
+        name: p.default
+        for name, p in inspect.signature(runner).parameters.items()
+        if name != "seed" and p.default is not inspect.Parameter.empty
+    }
+
+
+class RegisteredScenario:
+    """A spec bound to its resolved runner."""
+
+    def __init__(self, spec: ScenarioSpec, runner: Callable) -> None:
+        params = inspect.signature(runner).parameters
+        unknown = [k for k in spec.workload if k not in params or k == "seed"]
+        if unknown:
+            raise ReproError(
+                f"scenario {spec.scenario_id!r}: workload knobs {unknown} "
+                f"are not parameters of {spec.runner}")
+        self.spec = spec
+        self.runner = runner
+        self.defaults = runner_defaults(runner)
+
+    # -- identity ----------------------------------------------------------
+
+    def run_key(self, version: str | None = None) -> str:
+        """Content address of this scenario at *version* (default: current)."""
+        return compute_run_key(self.spec, self.defaults, version)
+
+    def seed(self, stage: str = "experiment", repetition: int = 0) -> bytes:
+        return self.spec.seed(stage, repetition)
+
+    def stamp(self, stage: str = "experiment", repetition: int = 0) -> RunStamp:
+        return RunStamp(
+            run_key=self.run_key(),
+            scenario=self.spec.scenario_id,
+            stage=stage,
+            repetition=repetition,
+            seed=self.seed(stage, repetition).decode("latin-1"),
+            seed_scheme=SEED_SCHEME,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Spec + derived identity, for ``repro scenario describe``."""
+        from .spec import canonical_spec
+
+        return {
+            "title": self.spec.title,
+            "spec": canonical_spec(self.spec, self.defaults),
+            "run_key": self.run_key(),
+            "seed_scheme": SEED_SCHEME,
+            "seeds": {
+                "experiment": {
+                    f"rep{r}": self.seed("experiment", r).decode("latin-1")
+                    for r in range(self.spec.repetitions)
+                },
+                **{
+                    stage: {"rep0": self.seed(stage, 0).decode("latin-1")}
+                    for stage in self.spec.stages
+                },
+            },
+            "invariance": {s: list(c) for s, c in sorted(self.spec.invariance.items())},
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, repetition: int = 0):
+        """Run the experiment stage at *repetition*, identity-stamped."""
+        if repetition >= self.spec.repetitions:
+            raise ReproError(
+                f"scenario {self.spec.scenario_id!r} declares "
+                f"{self.spec.repetitions} repetition(s); rep {repetition} "
+                "is outside the registered spec")
+        stamp = self.stamp("experiment", repetition)
+        with stamped(stamp):
+            return self.runner(seed=self.seed("experiment", repetition),
+                               **dict(self.spec.workload))
+
+    @contextlib.contextmanager
+    def stage_context(self, stage: str, repetition: int = 0) -> Iterator[bytes]:
+        """Install the stage's run identity; yields the derived stage seed.
+
+        Benchmark stages wrap their measurement in this so any
+        ``run_meta``-built result and any promoted perf entry carries
+        the scenario's run key and the stage-derived seed.
+        """
+        seed = self.seed(stage, repetition)
+        with stamped(self.stamp(stage, repetition)):
+            yield seed
+
+    def perf_entry(self, stage: str, *, experiment_id: str | None = None,
+                   repetition: int = 0,
+                   invariance: Mapping[str, bool] | None = None,
+                   **payload: Any) -> dict[str, Any]:
+        """A ``BENCH_PERF.json`` entry skeleton the gate will accept —
+        provided the invariance results really pass; the gate, not this
+        helper, is the authority."""
+        from .. import __version__
+
+        entry: dict[str, Any] = {
+            "experiment_id": experiment_id or self.spec.scenario_id,
+            "scenario": self.spec.scenario_id,
+            "stage": stage,
+            "repetition": repetition,
+            "run_key": self.run_key(),
+            "seed": self.seed(stage, repetition).decode("latin-1"),
+            "seed_scheme": SEED_SCHEME,
+            "repo_version": __version__,
+        }
+        entry["invariance"] = dict(invariance or {})
+        entry.update(payload)
+        return entry
+
+
+class ScenarioRegistry:
+    """Scenario ids -> registered scenarios, in registration order."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, RegisteredScenario] = {}
+
+    def register(self, spec: ScenarioSpec,
+                 runner: Callable | None = None) -> RegisteredScenario:
+        """Register *spec*, resolving its runner by name if not given."""
+        if spec.scenario_id in self._scenarios:
+            raise ReproError(f"scenario {spec.scenario_id!r} already registered")
+        if runner is None:
+            from ..analysis import experiments as exp
+
+            runner = getattr(exp, spec.runner, None)
+            if runner is None:
+                raise ReproError(
+                    f"scenario {spec.scenario_id!r}: no runner "
+                    f"{spec.runner!r} in repro.analysis.experiments")
+        registered = RegisteredScenario(spec, runner)
+        self._scenarios[spec.scenario_id] = registered
+        return registered
+
+    def get(self, scenario_id: str) -> RegisteredScenario:
+        try:
+            return self._scenarios[scenario_id]
+        except KeyError:
+            raise ReproError(
+                f"unknown scenario {scenario_id!r} "
+                f"(registered: {', '.join(self._scenarios) or 'none'})") from None
+
+    def run(self, scenario_id: str, repetition: int = 0):
+        return self.get(scenario_id).run(repetition)
+
+    def ids(self) -> list[str]:
+        return list(self._scenarios)
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return scenario_id in self._scenarios
+
+    def __iter__(self) -> Iterator[RegisteredScenario]:
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+def canonical_result_json(result, spec: ScenarioSpec | None = None) -> str:
+    """Byte-stable serialization of an ExperimentResult.
+
+    Sorted keys throughout; meta keys the spec declares nondeterministic
+    (wall-clock rates) are stripped, so two same-seed runs of a
+    registered scenario must serialize byte-identically.
+    """
+    record = dataclasses.asdict(result)
+    for key in (spec.nondeterministic_meta if spec is not None else ()):
+        record["meta"].pop(key, None)
+    record["rows"] = [
+        [c if isinstance(c, (str, int, float, bool, type(None))) else repr(c)
+         for c in row]
+        for row in record["rows"]
+    ]
+    return json.dumps(record, sort_keys=True, indent=2, default=repr)
+
+
+def _default_specs() -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec("T1", "Table 1 — REST PUT/GET with SharedKey auth",
+                     "experiment_table1", "exp/t1"),
+        ScenarioSpec("F1", "Fig. 1 — cloud computing principle",
+                     "experiment_fig1", "exp/f1"),
+        ScenarioSpec("F2", "Fig. 2 — AWS Import/Export flow",
+                     "experiment_fig2", "exp/f2"),
+        ScenarioSpec("F3", "Fig. 3 — Azure secure data access",
+                     "experiment_fig3", "exp/f3"),
+        ScenarioSpec("F4", "Fig. 4 — Google SDC work flow",
+                     "experiment_fig4", "exp/f4"),
+        ScenarioSpec("F5", "Fig. 5 — the integrity vulnerability",
+                     "experiment_fig5", "exp/f5",
+                     workload={"trials": 5}),
+        ScenarioSpec("F6", "Fig. 6 — TPNR work flows",
+                     "experiment_fig6", "exp/f6"),
+        ScenarioSpec("S3", "§3 — bridging schemes (TAC x SKS)",
+                     "experiment_bridging", "exp/s3"),
+        ScenarioSpec("S4", "§4.4 — TPNR vs traditional NR",
+                     "experiment_step_counts", "exp/s4"),
+        ScenarioSpec("S5", "§5 — attack robustness matrix",
+                     "experiment_attacks", "exp/s5"),
+        ScenarioSpec("S6", "§6 — protocol vs shipping time",
+                     "experiment_shipping", "exp/s6"),
+        ScenarioSpec("W1", "extension — multi-client scalability",
+                     "experiment_scalability", "exp/w1"),
+        ScenarioSpec("R1", "extension — loss resilience",
+                     "experiment_resilience", "exp/r1"),
+        ScenarioSpec("A1", "ablation — evidence encryption",
+                     "experiment_evidence_ablation", "exp/a1"),
+        ScenarioSpec("FC1", "extension — fault-injection campaign",
+                     "experiment_fault_campaign", "exp/fc1",
+                     workload={"n_plans": 50}),
+        ScenarioSpec("CR1", "extension — amnesia-crash recovery campaign",
+                     "experiment_crash_recovery", "exp/cr1",
+                     workload={"n_plans": 100}),
+        ScenarioSpec("OB1", "extension — observability span trees + metrics",
+                     "experiment_observability", "exp/ob1",
+                     stages=("overhead",)),
+        ScenarioSpec("OB2", "extension — forensic timelines + consistency audit",
+                     "experiment_forensics", "exp/ob2",
+                     workload={"n_plans": 100},
+                     stages=("cost", "overhead"),
+                     invariance={"cost": ("clean_reconstruction_zero_findings",)}),
+        ScenarioSpec("TP1", "extension — multi-tenant throughput engine",
+                     "experiment_throughput", "exp/tp1",
+                     stages=("perf", "perf-1000"),
+                     invariance={"perf": ("cache_toggle_signature_identical",)},
+                     nondeterministic_meta=("wall_tx_per_sec",)),
+    ]
+
+
+def build_default_registry() -> ScenarioRegistry:
+    registry = ScenarioRegistry()
+    for spec in _default_specs():
+        registry.register(spec)
+    return registry
+
+
+DEFAULT_REGISTRY = build_default_registry()
+#: The short convenience alias used throughout benches and the CLI.
+SCENARIOS = DEFAULT_REGISTRY

@@ -1,0 +1,191 @@
+"""The registry: specs bound to runners, identity-stamped execution."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, run_meta
+from repro.errors import ReproError
+from repro.scenarios import (
+    SCENARIOS,
+    RunStamp,
+    ScenarioRegistry,
+    ScenarioSpec,
+    canonical_result_json,
+    current_stamp,
+    runner_defaults,
+    stamped,
+)
+
+# -- default registry covers every experiment ---------------------------------
+
+
+def test_all_cli_experiments_are_registered():
+    from repro.cli import EXPERIMENTS
+
+    assert set(EXPERIMENTS) == set(SCENARIOS.ids())
+    assert len(SCENARIOS) == 19
+
+
+@pytest.mark.parametrize("scenario_id,root,workload,stages", [
+    ("FC1", "exp/fc1", {"n_plans": 50}, ()),
+    ("CR1", "exp/cr1", {"n_plans": 100}, ()),
+    ("OB1", "exp/ob1", {}, ("overhead",)),
+    ("OB2", "exp/ob2", {"n_plans": 100}, ("cost", "overhead")),
+    ("TP1", "exp/tp1", {}, ("perf", "perf-1000")),
+])
+def test_campaign_scenarios_carry_their_specs(scenario_id, root, workload, stages):
+    spec = SCENARIOS.get(scenario_id).spec
+    assert spec.root_seed == root
+    assert dict(spec.workload) == workload
+    assert spec.stages == stages
+
+
+def test_invariance_contracts_are_declared():
+    assert SCENARIOS.get("TP1").spec.checks_for("perf") == (
+        "cache_toggle_signature_identical",)
+    assert SCENARIOS.get("OB2").spec.checks_for("cost") == (
+        "clean_reconstruction_zero_findings",)
+    assert SCENARIOS.get("TP1").spec.checks_for("perf-1000") == ()
+
+
+def test_run_keys_are_distinct_across_scenarios():
+    keys = [s.run_key() for s in SCENARIOS]
+    assert len(set(keys)) == len(keys)
+    assert all(len(k) == 64 for k in keys)
+
+
+def test_workload_knobs_are_validated_against_the_runner_signature():
+    registry = ScenarioRegistry()
+    with pytest.raises(ReproError):
+        registry.register(
+            ScenarioSpec("BAD1", "bad", "experiment_fault_campaign", "exp/bad",
+                         workload={"not_a_knob": 1}))
+    with pytest.raises(ReproError):
+        registry.register(
+            ScenarioSpec("BAD2", "bad", "no_such_runner", "exp/bad"))
+
+
+def test_duplicate_registration_rejected():
+    registry = ScenarioRegistry()
+    spec = ScenarioSpec("X1", "x", "experiment_table1", "exp/x")
+    registry.register(spec)
+    with pytest.raises(ReproError):
+        registry.register(spec)
+
+
+def test_unknown_scenario_is_an_error():
+    with pytest.raises(ReproError):
+        SCENARIOS.get("NOPE")
+    assert "NOPE" not in SCENARIOS
+    assert "TP1" in SCENARIOS
+
+
+# -- identity-stamped execution -----------------------------------------------
+
+
+def _probe_runner(seed: bytes, knob: int = 7) -> ExperimentResult:
+    """A runner that reports what identity the writers saw."""
+    return ExperimentResult(
+        experiment_id="PRB",
+        title="probe",
+        headers=["k", "v"],
+        rows=[["knob", knob]],
+        facts={"knob": knob},
+        notes="",
+        meta=run_meta(seed),
+    )
+
+
+@pytest.fixture
+def probe_registry():
+    registry = ScenarioRegistry()
+    registry.register(
+        ScenarioSpec("PRB", "probe scenario", "_probe_runner", "exp/prb",
+                     repetitions=3, stages=("perf",),
+                     nondeterministic_meta=("wall_ms",)),
+        runner=_probe_runner)
+    return registry
+
+
+def test_run_stamps_the_result_meta(probe_registry):
+    scenario = probe_registry.get("PRB")
+    result = scenario.run()
+    assert result.meta["run_key"] == scenario.run_key()
+    assert result.meta["scenario"] == "PRB"
+    assert result.meta["stage"] == "experiment"
+    assert result.meta["repetition"] == 0
+    assert result.meta["seed"] == "exp/prb"
+    assert result.meta["seed_scheme"] == "pt002-hmac-sha256/v1"
+    # The stamp is scoped to the run: nothing leaks afterwards.
+    assert current_stamp() is None
+    assert "run_key" not in run_meta(b"exp/bare")
+
+
+def test_repetitions_derive_their_own_seeds(probe_registry):
+    scenario = probe_registry.get("PRB")
+    rep1 = scenario.run(repetition=1)
+    assert rep1.meta["repetition"] == 1
+    assert rep1.meta["seed"] == scenario.seed("experiment", 1).decode()
+    assert rep1.meta["seed"] != "exp/prb"
+    with pytest.raises(ReproError):
+        scenario.run(repetition=3)  # outside the registered spec
+
+
+def test_stage_context_installs_stage_identity(probe_registry):
+    scenario = probe_registry.get("PRB")
+    with scenario.stage_context("perf") as seed:
+        assert seed == scenario.seed("perf")
+        meta = run_meta(seed)
+        assert meta["run_key"] == scenario.run_key()
+        assert meta["stage"] == "perf"
+        assert meta["seed"] == seed.decode()
+    assert current_stamp() is None
+
+
+def test_perf_entry_shape(probe_registry):
+    scenario = probe_registry.get("PRB")
+    entry = scenario.perf_entry("perf", invariance={"sig_ok": True}, ms=1.5)
+    assert entry["experiment_id"] == entry["scenario"] == "PRB"
+    assert entry["stage"] == "perf"
+    assert entry["run_key"] == scenario.run_key()
+    assert entry["seed"] == scenario.seed("perf").decode()
+    assert entry["invariance"] == {"sig_ok": True}
+    assert entry["ms"] == 1.5
+    sub = scenario.perf_entry("perf", experiment_id="PRB-extra")
+    assert sub["experiment_id"] == "PRB-extra" and sub["scenario"] == "PRB"
+
+
+def test_describe_exposes_derived_seeds(probe_registry):
+    described = probe_registry.get("PRB").describe()
+    assert described["seeds"]["experiment"]["rep0"] == "exp/prb"
+    assert len(described["seeds"]["experiment"]) == 3
+    assert described["seeds"]["perf"]["rep0"] != "exp/prb"
+    assert described["run_key"] == probe_registry.get("PRB").run_key()
+    assert "title" not in described["spec"]  # cosmetic, outside the hash
+
+
+def test_runner_defaults_introspection():
+    assert runner_defaults(_probe_runner) == {"knob": 7}
+
+
+def test_canonical_result_json_is_stable_and_strips_nondeterminism(probe_registry):
+    scenario = probe_registry.get("PRB")
+    a, b = scenario.run(), scenario.run()
+    a.meta["wall_ms"] = 12.3
+    b.meta["wall_ms"] = 45.6
+    spec = scenario.spec
+    assert canonical_result_json(a, spec) == canonical_result_json(b, spec)
+    assert "wall_ms" not in canonical_result_json(a, spec)
+
+
+def test_stamped_context_is_reentrant_and_scoped():
+    stamp = RunStamp(run_key="k" * 64, scenario="S", stage="experiment",
+                     repetition=0, seed="s", seed_scheme="x")
+    assert current_stamp() is None
+    with stamped(stamp):
+        assert current_stamp() is stamp
+        inner = RunStamp(run_key="j" * 64, scenario="S2", stage="perf",
+                         repetition=1, seed="t", seed_scheme="x")
+        with stamped(inner):
+            assert current_stamp() is inner
+        assert current_stamp() is stamp
+    assert current_stamp() is None
