@@ -36,6 +36,13 @@ Commands
     against the Arbitrator); with ``--selftest``, sweep a seeded fault
     sub-campaign and require every failure to be attributed to a
     classified violation with zero false positives.
+``replication [--campaign|--migrate] [--plans N] [--replica R] [--seed S]``
+    One TPNR session over the replicated three-backend store: a
+    replica is tampered mid-session, the read hedges past it, and the
+    fork-consistency audit names the culprit.  ``--campaign`` sweeps
+    the seeded RP1 replica-fault campaign (every fault masked or
+    detected, never silent); ``--migrate`` runs the RP2 live
+    s3like→azurelike migration with evidence continuity.
 """
 
 from __future__ import annotations
@@ -248,6 +255,64 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0 if dossier.agrees(dep.arbitrator, "tampering") else 1
 
 
+def _cmd_replication(args: argparse.Namespace) -> int:
+    """Replicated-store demo, RP1 campaign, or RP2 migration."""
+    from .net.faults import generate_replica_plans
+    from .replication import ReplicatedStore, ReplicationCampaignRunner, attach_replication
+
+    seed = args.seed.encode()
+    if args.campaign:
+        plans = generate_replica_plans(seed, args.plans)
+        report = ReplicationCampaignRunner(seed=seed).run(plans)
+        print(report.render())
+        ok = (report.silent_faults == 0 and report.violation_count == 0
+              and report.clean_plan_findings() == 0)
+        print(f"\n{report.injected_faults} faults: {report.masked_faults} masked, "
+              f"{report.detected_faults} detected, {report.silent_faults} silent; "
+              f"campaign {'ok' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+    if args.migrate:
+        from .analysis.experiments import experiment_migration
+
+        result = experiment_migration(seed)
+        print(render_table(result.headers, result.rows,
+                           title=f"[{result.experiment_id}] {result.title}"))
+        ok = bool(result.facts["evidence_chain_survives_migration"])
+        print(f"\nevidence chain survives migration: {'yes' if ok else 'NO'}")
+        return 0 if ok else 1
+
+    dep = make_deployment(seed=seed, observe=True)
+    store = attach_replication(dep, ReplicatedStore(seed=seed + b"/store"))
+    outcome = run_upload(dep, b"replicated session payload " * 8)
+    txn = outcome.transaction_id
+    store.tamper_replica(args.replica, "tpnr-data", txn,
+                         b"divergent replica copy")
+    result = run_download(dep, txn)
+    store.audit()
+    culprits = sorted({f.replica for f in store.verifier.error_findings()})
+    dossier = dep.dossier(txn)
+    print(render_kv(
+        [
+            ("transaction", txn),
+            ("replicas", ", ".join(store.replica_names)),
+            ("quorum", store.quorum),
+            ("tampered replica", args.replica),
+            ("download verified", result.verified),
+            ("hedged reads", store.hedged_reads),
+            ("read repairs", store.read_repairs),
+            ("verifier findings",
+             "; ".join(f.describe() for f in store.verifier.error_findings())
+             or "none"),
+            ("dossier findings",
+             "; ".join(str(f) for f in dossier.findings) or "none"),
+        ],
+        title=f"Replicated TPNR session (seed={args.seed!r})",
+    ))
+    ok = result.verified and args.replica in culprits
+    return 0 if ok else 1
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     """The scenario control plane: list/describe/run/gate."""
     import json
@@ -408,6 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_f.add_argument("--plans", type=int, default=25,
                      help="sub-campaign size for --selftest")
     p_f.set_defaults(func=_cmd_forensics)
+
+    p_r = sub.add_parser("replication",
+                         help="replicated-store session / RP1 campaign / RP2 migration")
+    p_r.add_argument("--seed", default="cli", help="determinism seed")
+    p_r.add_argument("--campaign", action="store_true",
+                     help="sweep the seeded replica-fault campaign (RP1)")
+    p_r.add_argument("--plans", type=int, default=30,
+                     help="campaign size for --campaign")
+    p_r.add_argument("--migrate", action="store_true",
+                     help="run the live-migration evidence-continuity demo (RP2)")
+    p_r.add_argument("--replica", default="s3like",
+                     choices=["s3like", "azurelike", "gaelike"],
+                     help="replica to tamper in the demo")
+    p_r.set_defaults(func=_cmd_replication)
 
     p_t = sub.add_parser("throughput", help="sweep the multi-tenant session engine")
     p_t.add_argument("--tenants", type=int, nargs="+", default=[1, 10, 50],

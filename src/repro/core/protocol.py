@@ -53,6 +53,7 @@ class Deployment:
     extra_clients: dict[str, TpnrClient] = field(default_factory=dict)
     stable: object | None = None  # StableStore when built with durable=True
     obs: Observability = NULL_OBS  # live when built with observe=True
+    replication: object | None = None  # ReplicatedStore when attached
 
     def run(self, until: float | None = None) -> None:
         self.network.sim.run(until)

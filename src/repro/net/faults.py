@@ -48,10 +48,14 @@ __all__ = [
     "FaultAction",
     "FaultRule",
     "CrashWindow",
+    "ReplicaFaultMode",
+    "ReplicaFault",
     "FaultPlan",
     "FaultInjector",
     "generate_plans",
     "generate_amnesia_plans",
+    "generate_replica_plans",
+    "REPLICA_NAMES",
     "CampaignOutcome",
     "CampaignReport",
     "CampaignRunner",
@@ -142,6 +146,44 @@ class CrashWindow:
         return f"{kind}({self.node} @{self.start:g}s +{self.duration:g}s)"
 
 
+class ReplicaFaultMode(enum.Enum):
+    """Fault classes scoped to one replica of a replicated store.
+
+    * ``DIVERGENCE`` — a replica's stored bytes silently change (bad
+      disk, or a backend quietly rewriting data) with the platform MD5
+      fixed up, so single-backend checks pass;
+    * ``SPLIT_BRAIN`` — a replica is partitioned away from the write
+      quorum and accepts a divergent minority write of its own;
+    * ``LAGGING`` — a replica stops acknowledging writes and serves an
+      old (but internally consistent) view;
+    * ``BYZANTINE`` — a replica tampers with data *and* forges its
+      attestation, the strongest §2.4-style adversary.
+    """
+
+    DIVERGENCE = "replica-divergence"
+    SPLIT_BRAIN = "split-brain"
+    LAGGING = "lagging-replica"
+    BYZANTINE = "byzantine-replica"
+
+
+#: Replica names a replicated deployment fans out to by default.
+REPLICA_NAMES = ("s3like", "azurelike", "gaelike")
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """Apply *mode* to *replica* just before the *at_op*-th store op."""
+
+    mode: ReplicaFaultMode
+    replica: str
+    at_op: int = 1
+    forge_attestation: bool = False
+
+    def describe(self) -> str:
+        forged = "+forged-mac" if self.forge_attestation else ""
+        return f"{self.mode.value}({self.replica} @op{self.at_op}{forged})"
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A named, self-contained fault scenario."""
@@ -149,9 +191,14 @@ class FaultPlan:
     name: str
     rules: tuple[FaultRule, ...] = ()
     crashes: tuple[CrashWindow, ...] = ()
+    replica_faults: tuple[ReplicaFault, ...] = ()
 
     def describe(self) -> str:
-        parts = [r.describe() for r in self.rules] + [c.describe() for c in self.crashes]
+        parts = (
+            [r.describe() for r in self.rules]
+            + [c.describe() for c in self.crashes]
+            + [rf.describe() for rf in self.replica_faults]
+        )
         return "; ".join(parts) if parts else "no-op"
 
 
@@ -398,6 +445,58 @@ def generate_amnesia_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
                 crashes=tuple(windows),
             )
         )
+    return plans
+
+
+def generate_replica_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
+    """Deterministically generate *n* replica-fault plans from *seed*.
+
+    Roughly one in six plans is a clean control (no faults at all —
+    the verifier must stay silent on those); the rest inject one
+    replica-scoped fault, with about one in eight doubling up two
+    faults on distinct replicas (``replica-compound`` in the
+    breakdown).  Byzantine plans forge the attestation MAC half the
+    time.  Same seed, same *n* -> the identical plan list, forever.
+    """
+    rng = HmacDrbg(seed, personalization=b"replica-plans")
+    modes = list(ReplicaFaultMode)
+    plans: list[FaultPlan] = []
+    for i in range(n):
+        roll = rng.random()
+        if roll < 1 / 6:
+            plans.append(FaultPlan(name=f"r{i:03d}-clean"))
+            continue
+
+        def one_fault(exclude: str | None = None) -> ReplicaFault:
+            mode = rng.choice(modes)
+            candidates = [r for r in REPLICA_NAMES if r != exclude]
+            replica = rng.choice(candidates)
+            forged = (
+                mode is ReplicaFaultMode.BYZANTINE and rng.random() < 0.5
+            )
+            return ReplicaFault(
+                mode=mode,
+                replica=replica,
+                at_op=rng.randint(1, 6),
+                forge_attestation=forged,
+            )
+
+        first = one_fault()
+        if roll < 1 / 6 + 1 / 8:
+            second = one_fault(exclude=first.replica)
+            plans.append(
+                FaultPlan(
+                    name=f"r{i:03d}-compound",
+                    replica_faults=(first, second),
+                )
+            )
+        else:
+            plans.append(
+                FaultPlan(
+                    name=f"r{i:03d}-{first.mode.value}",
+                    replica_faults=(first,),
+                )
+            )
     return plans
 
 

@@ -39,11 +39,17 @@ __all__ = [
 def fault_class(plan: "FaultPlan") -> str:
     """Classify a plan by the shape of what it injects.
 
-    Crash windows dominate (``amnesia`` / ``crash``); otherwise plans
-    are ``compound`` (several rules), the single rule's action name
-    (``drop``, ``duplicate``, ``delay``, ``corrupt``, ``reorder``), or
-    ``none`` for the no-op plan.
+    Replica-scoped faults dominate (the fault mode's value, e.g.
+    ``replica-divergence``; several distinct modes in one plan fold to
+    ``replica-compound``).  Crash windows come next (``amnesia`` /
+    ``crash``); otherwise plans are ``compound`` (several rules), the
+    single rule's action name (``drop``, ``duplicate``, ``delay``,
+    ``corrupt``, ``reorder``), or ``none`` for the no-op plan.
     """
+    replica_faults = getattr(plan, "replica_faults", ())
+    if replica_faults:
+        modes = sorted({rf.mode.value for rf in replica_faults})
+        return modes[0] if len(modes) == 1 else "replica-compound"
     if plan.crashes:
         crash = "amnesia" if any(w.amnesia for w in plan.crashes) else "crash"
         return f"{crash}+rules" if plan.rules else crash

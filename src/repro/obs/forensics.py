@@ -49,10 +49,11 @@ __all__ = [
 ]
 
 # Causal rank inside one sim instant, matching the code's write order:
-# the WAL entry lands before the wire send (log-before-act), the span
+# the WAL entry lands before the wire send (log-before-act), replica
+# store events fire while the provider services the request, the span
 # event is recorded after the send returns, and evidence is archived
 # after its span event.
-_SOURCE_RANK = {"wal": 0, "wire": 1, "span": 2, "evidence": 3}
+_SOURCE_RANK = {"wal": 0, "wire": 1, "replica": 2, "span": 3, "evidence": 4}
 
 
 @dataclass(frozen=True)
@@ -60,7 +61,7 @@ class TimelineEntry:
     """One cross-surface occurrence in a transaction's life."""
 
     time: float
-    source: str  # "wal" | "wire" | "span" | "evidence"
+    source: str  # "wal" | "wire" | "replica" | "span" | "evidence"
     party: str
     kind: str
     msg_id: int = 0
@@ -150,12 +151,14 @@ class TimelineReconstructor:
         parties,
         registry=None,
         exclusive_trace: bool = False,
+        replication=None,
     ) -> None:
         self.trace = trace
         self.tracer = tracer
         self.parties = list(parties)
         self.registry = registry
         self.exclusive_trace = exclusive_trace
+        self.replication = replication
 
     @classmethod
     def for_deployment(cls, dep: "Deployment", exclusive_trace: bool = False) -> "TimelineReconstructor":
@@ -166,6 +169,7 @@ class TimelineReconstructor:
             parties,
             registry=dep.registry,
             exclusive_trace=exclusive_trace,
+            replication=getattr(dep, "replication", None),
         )
 
     # -- the join ------------------------------------------------------------
@@ -253,7 +257,21 @@ class TimelineReconstructor:
                            header.get("flag", ""))
                     wal_evidence_times.setdefault(key, []).append(at)
 
-        # 4. Evidence archives, timed through their span events (or
+        # 4. Replica store events: the provider-side fan-out, keyed by
+        # object key (the provider stores the payload under the txn id).
+        if self.replication is not None:
+            for ev in self.replication.events:
+                if ev.key != transaction_id:
+                    continue
+                detail = f"{ev.container}/{ev.key} v{ev.version}"
+                if ev.detail:
+                    detail += f" [{ev.detail}]"
+                entries.append(TimelineEntry(
+                    ev.time, "replica", ev.replica,
+                    f"replica:{ev.action}", 0, detail,
+                ))
+
+        # 5. Evidence archives, timed through their span events (or
         # their WAL append when spans are off).
         facts: list[EvidenceFact] = []
         used: dict[tuple[str, str, str], int] = {}
@@ -393,6 +411,7 @@ class ConsistencyAuditor:
         findings.extend(self._check_journal_vs_wire(timeline))
         findings.extend(self._check_evidence_digests(timeline))
         findings.extend(self._check_durability(timeline))
+        findings.extend(self._check_replication(timeline))
         unique: dict[tuple[str, str], AuditFinding] = {}
         for finding in findings:
             unique.setdefault((finding.category, finding.subject), finding)
@@ -566,6 +585,27 @@ class ConsistencyAuditor:
                     f"{len(lost)} durably-acknowledged evidence record(s) "
                     "missing from the live store",
                 ))
+        return out
+
+    # -- replica consistency -------------------------------------------------
+
+    def _check_replication(self, timeline: Timeline) -> list[AuditFinding]:
+        """When the deployment stores through a replicated store, the
+        fork-consistency verifier's error findings for this transaction's
+        object become audit findings — silent divergence by a replica is
+        as much an inconsistency as a forged digest."""
+        replication = getattr(self.reconstructor, "replication", None)
+        if replication is None:
+            return []
+        out: list[AuditFinding] = []
+        for f in replication.verifier.findings_for(key=timeline.transaction_id):
+            if not f.is_error:
+                continue
+            out.append(AuditFinding(
+                f.category,
+                f"{f.replica} {f.container}/{f.key}",
+                f.detail,
+            ))
         return out
 
 

@@ -1,0 +1,71 @@
+"""Replicated multi-backend storage with fork-consistency verification.
+
+The paper binds each transaction to a single provider; production
+stores replicate.  This package makes the three platform models of
+§2 (:mod:`repro.storage.s3like` / ``azurelike`` / ``gaelike``) the
+replica set of one :class:`ReplicatedStore` — quorum-acked fan-out
+writes, deterministic replica selection, hedged verified reads,
+read-repair — and layers the Venus-style
+:class:`ForkConsistencyVerifier` ("Don't Trust the Cloud, Verify",
+arXiv:1502.04496) on top, so forking, stale reads, and silent
+divergence by any replica become *findings* that flow into forensic
+timelines and dispute dossiers.
+
+:class:`ReplicationCampaignRunner` proves the RP1 contract — every
+injected replica fault is masked by the quorum or detected by the
+verifier, never silently absorbed — and :func:`migrate_backend`
+performs live s3like→azurelike migration under which the NRO/NRR
+evidence chain provably survives (RP2).
+"""
+
+from .campaign import (
+    ReplicationCampaignRunner,
+    ReplicationOutcome,
+    ReplicationReport,
+)
+from .migration import MigrationRecord, migrate_backend, verify_migration_chain
+from .store import (
+    AzureReplicaAdapter,
+    GaeReplicaAdapter,
+    ReplicaAdapter,
+    ReplicaEvent,
+    ReplicaHandle,
+    ReplicatedStore,
+    ReplicationError,
+    S3ReplicaAdapter,
+    attach_replication,
+    default_replicas,
+)
+from .verify import (
+    ForkConsistencyVerifier,
+    ReplicaAttestation,
+    TrustedVersion,
+    VerifierFinding,
+    attestation_payload,
+    sign_attestation,
+)
+
+__all__ = [
+    "ReplicationError",
+    "ReplicaEvent",
+    "ReplicaAdapter",
+    "S3ReplicaAdapter",
+    "AzureReplicaAdapter",
+    "GaeReplicaAdapter",
+    "default_replicas",
+    "ReplicaHandle",
+    "ReplicatedStore",
+    "attach_replication",
+    "ForkConsistencyVerifier",
+    "ReplicaAttestation",
+    "TrustedVersion",
+    "VerifierFinding",
+    "attestation_payload",
+    "sign_attestation",
+    "ReplicationCampaignRunner",
+    "ReplicationOutcome",
+    "ReplicationReport",
+    "MigrationRecord",
+    "migrate_backend",
+    "verify_migration_chain",
+]

@@ -18,8 +18,8 @@ The registry is what turns a spec into a run:
   (sorted keys, nondeterministic meta stripped) — the form the
   cross-seed determinism tests compare.
 
-``DEFAULT_REGISTRY`` registers all nineteen experiments; the five
-campaign/engine scenarios (FC1, CR1, OB1, OB2, TP1) carry the richer
+``DEFAULT_REGISTRY`` registers all twenty-one experiments; the seven
+campaign/engine scenarios (FC1, CR1, OB1, OB2, TP1, RP1, RP2) carry the richer
 specs (workload knobs, stages, invariance contracts).
 """
 
@@ -274,6 +274,13 @@ def _default_specs() -> list[ScenarioSpec]:
                      stages=("perf", "perf-1000"),
                      invariance={"perf": ("cache_toggle_signature_identical",)},
                      nondeterministic_meta=("wall_tx_per_sec",)),
+        ScenarioSpec("RP1", "extension — replicated-store divergence campaign",
+                     "experiment_replication", "exp/rp1",
+                     workload={"n_plans": 60},
+                     stages=("perf",),
+                     invariance={"perf": ("all_faults_masked_or_detected",)}),
+        ScenarioSpec("RP2", "extension — migration evidence continuity",
+                     "experiment_migration", "exp/rp2"),
     ]
 
 

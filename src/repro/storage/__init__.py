@@ -16,7 +16,7 @@ from . import account, auditlog, azurelike, blobstore, gaelike, rest, s3like, sh
 from .account import Account, AccountDirectory
 from .auditlog import AuditEntry, AuditLog, Checkpoint, verify_chain
 from .azurelike import MAX_BLOB_SIZE, MAX_QUEUE_MESSAGE, AzureLikeClient, AzureLikeService
-from .blobstore import BlobStore, StoredObject
+from .blobstore import BlobStore, ObjectStat, StoredObject
 from .gaelike import (
     GaeLikeService,
     ResourceRule,
@@ -73,6 +73,7 @@ __all__ = [
     "AzureLikeClient",
     "AzureLikeService",
     "BlobStore",
+    "ObjectStat",
     "StoredObject",
     "GaeLikeService",
     "ResourceRule",

@@ -27,7 +27,7 @@ from ..crypto.hashes import digest
 from ..crypto.hmac_ import constant_time_equals
 from ..errors import AuthenticationError, IntegrityError, NoSuchObjectError, StorageError
 from .account import Account, AccountDirectory
-from .blobstore import BlobStore
+from .blobstore import BlobStore, ObjectStat
 from .rest import RestRequest, RestResponse, authorization_header, shared_key_signature
 
 __all__ = ["AzureLikeService", "AzureLikeClient", "MAX_BLOB_SIZE", "MAX_QUEUE_MESSAGE"]
@@ -185,6 +185,20 @@ class AzureLikeService:
         if len(parts) < 3 or parts[0] != account.name:
             raise StorageError(f"malformed blob path {request.path!r}")
         return parts[1], "/".join(parts[2:])
+
+    # -- parity surface (uniform across the three platform models) ----------
+
+    def stat(self, container: str, key: str) -> ObjectStat:
+        """Uniform object metadata; ``backend`` is the service name."""
+        return self.blobs.stat(container, key, backend=self.name)
+
+    def content_digest(self, container: str, key: str) -> str:
+        """SHA-256 hex of the currently stored bytes."""
+        return self.blobs.content_digest(container, key)
+
+    def list_objects(self, container: str) -> list[ObjectStat]:
+        """Stats for every object in *container*, in key order."""
+        return [self.stat(container, k) for k in self.blobs.list_keys(container)]
 
     # -- queues (<8k messages) ------------------------------------------------
 

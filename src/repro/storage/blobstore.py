@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from ..crypto.hashes import digest
 from ..errors import NoSuchObjectError, StorageError
 
-__all__ = ["StoredObject", "BlobStore"]
+__all__ = ["StoredObject", "ObjectStat", "BlobStore"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,32 @@ class StoredObject:
     def is_consistent(self) -> bool:
         """True when stored metadata MD5 still matches the bytes."""
         return self.content_md5 == self.actual_md5()
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """Uniform per-object metadata across all three platform models.
+
+    ``content_digest`` is the SHA-256 of the bytes *currently* stored
+    (recomputed at stat time), while ``stored_md5`` is the platform's
+    persisted MD5 metadata.  The two drift exactly when someone has
+    been "playing with the data in hand", which is what the replication
+    verifier keys on.
+    """
+
+    backend: str
+    container: str
+    key: str
+    size: int
+    version: int
+    created_at: float
+    content_digest: str
+    stored_md5: str
+
+    def observable(self) -> tuple:
+        """The backend-independent projection (equivalence tests)."""
+        return (self.container, self.key, self.size, self.version,
+                self.created_at, self.content_digest, self.stored_md5)
 
 
 class BlobStore:
@@ -115,6 +141,29 @@ class BlobStore:
 
     def __len__(self) -> int:
         return len(self._objects)
+
+    # -- parity surface ----------------------------------------------------
+
+    def stat(self, container: str, key: str, backend: str | None = None) -> ObjectStat:
+        """Uniform metadata view of one object (no get_count side effect)."""
+        try:
+            obj = self._objects[(container, key)]
+        except KeyError as exc:
+            raise NoSuchObjectError(f"{container}/{key} does not exist") from exc
+        return ObjectStat(
+            backend=backend if backend is not None else self.name,
+            container=container,
+            key=key,
+            size=obj.size,
+            version=obj.version,
+            created_at=obj.created_at,
+            content_digest=digest("sha256", obj.data).hex(),
+            stored_md5=obj.content_md5.hex(),
+        )
+
+    def content_digest(self, container: str, key: str) -> str:
+        """SHA-256 hex of the bytes currently stored."""
+        return self.stat(container, key).content_digest
 
     # -- provider-side (malicious) path ------------------------------------
 

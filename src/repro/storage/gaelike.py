@@ -25,7 +25,7 @@ from ..crypto import rsa
 from ..crypto.drbg import HmacDrbg
 from ..crypto.pki import Identity
 from ..errors import AuthenticationError, AuthorizationError, NoSuchObjectError
-from .blobstore import BlobStore
+from .blobstore import BlobStore, ObjectStat
 
 __all__ = [
     "SignedRequest",
@@ -169,6 +169,20 @@ class GaeLikeService:
 
     def datastore_get(self, kind: str, key: str) -> bytes:
         return self.blobs.get(kind, key).data
+
+    # -- parity surface (uniform across the three platform models) ----------
+
+    def stat(self, container: str, key: str) -> ObjectStat:
+        """Uniform object metadata; ``backend`` is the service name."""
+        return self.blobs.stat(container, key, backend=self.name)
+
+    def content_digest(self, container: str, key: str) -> str:
+        """SHA-256 hex of the currently stored bytes."""
+        return self.blobs.content_digest(container, key)
+
+    def list_objects(self, container: str) -> list[ObjectStat]:
+        """Stats for every object in *container*, in key order."""
+        return [self.stat(container, k) for k in self.blobs.list_keys(container)]
 
     # -- the SDC request path ---------------------------------------------------
 

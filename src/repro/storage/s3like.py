@@ -31,7 +31,7 @@ from ..crypto.hashes import digest
 from ..crypto.hmac_ import constant_time_equals, hmac_digest
 from ..errors import AuthenticationError, IntegrityError, NoSuchObjectError, StorageError
 from .account import Account, AccountDirectory
-from .blobstore import BlobStore
+from .blobstore import BlobStore, ObjectStat
 from .shipping import StorageDevice
 
 __all__ = [
@@ -274,6 +274,20 @@ class S3LikeService:
         self.accounts.by_name(account.name)
         obj = self.blobs.get(bucket, key)
         return obj.data, obj.actual_md5()
+
+    # -- parity surface (uniform across the three platform models) ----------
+
+    def stat(self, container: str, key: str) -> ObjectStat:
+        """Uniform object metadata; ``backend`` is the service name."""
+        return self.blobs.stat(container, key, backend=self.name)
+
+    def content_digest(self, container: str, key: str) -> str:
+        """SHA-256 hex of the currently stored bytes."""
+        return self.blobs.content_digest(container, key)
+
+    def list_objects(self, container: str) -> list[ObjectStat]:
+        """Stats for every object in *container*, in key order."""
+        return [self.stat(container, k) for k in self.blobs.list_keys(container)]
 
 
 def _decode_signature_file(raw: bytes) -> SignatureFile:

@@ -22,7 +22,7 @@ def test_all_cli_experiments_are_registered():
     from repro.cli import EXPERIMENTS
 
     assert set(EXPERIMENTS) == set(SCENARIOS.ids())
-    assert len(SCENARIOS) == 19
+    assert len(SCENARIOS) == 21
 
 
 @pytest.mark.parametrize("scenario_id,root,workload,stages", [
@@ -31,6 +31,8 @@ def test_all_cli_experiments_are_registered():
     ("OB1", "exp/ob1", {}, ("overhead",)),
     ("OB2", "exp/ob2", {"n_plans": 100}, ("cost", "overhead")),
     ("TP1", "exp/tp1", {}, ("perf", "perf-1000")),
+    ("RP1", "exp/rp1", {"n_plans": 60}, ("perf",)),
+    ("RP2", "exp/rp2", {}, ()),
 ])
 def test_campaign_scenarios_carry_their_specs(scenario_id, root, workload, stages):
     spec = SCENARIOS.get(scenario_id).spec
@@ -44,6 +46,8 @@ def test_invariance_contracts_are_declared():
         "cache_toggle_signature_identical",)
     assert SCENARIOS.get("OB2").spec.checks_for("cost") == (
         "clean_reconstruction_zero_findings",)
+    assert SCENARIOS.get("RP1").spec.checks_for("perf") == (
+        "all_faults_masked_or_detected",)
     assert SCENARIOS.get("TP1").spec.checks_for("perf-1000") == ()
 
 
