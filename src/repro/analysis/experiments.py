@@ -71,6 +71,7 @@ __all__ = [
     "experiment_evidence_ablation",
     "experiment_observability",
     "experiment_forensics",
+    "experiment_slo",
     "experiment_throughput",
     "experiment_replication",
     "experiment_migration",
@@ -1199,6 +1200,125 @@ def _alert_counts(alerts) -> dict[str, int]:
     for alert in alerts:
         counts[alert.detector] = counts.get(alert.detector, 0) + 1
     return dict(sorted(counts.items()))
+
+
+# ---------------------------------------------------------------------------
+# OB3 — SLO error budgets, burn-rate alerting, mergeable sketches
+# ---------------------------------------------------------------------------
+
+def experiment_slo(
+    seed: bytes = b"exp/ob3", n_plans: int = 24, shards: int = 4
+) -> ExperimentResult:
+    """The SLO layer under fire: identical seeded campaigns, one clean
+    and two fault storms, each evaluated against the standard campaign
+    SLOs (session success, terminal-verdict latency, evidence
+    verification).
+
+    The facts assert the OB3 alerting contract — the clean run keeps
+    every error budget intact and fires **zero** alerts while each
+    storm burns a budget hard enough to fire at least one burn-rate
+    alert — plus the sketch-merge contract: the per-plan latencies,
+    round-robin sharded into *shards* per-shard sketches and merged,
+    reproduce the global sketch **exactly** (bucket maps, counts,
+    min/max) and its quantiles stay within the declared relative-error
+    bound of the true sorted samples.
+    """
+    from ..net.faults import CampaignRunner, FaultPlan, generate_storm_plans
+    from ..obs.sketch import QuantileSketch
+
+    campaigns = [
+        ("clean", [FaultPlan(name=f"s{i:03d}-clean") for i in range(n_plans)]),
+        ("blackout", generate_storm_plans(seed + b"/blackout", n_plans,
+                                          profile="blackout")),
+        ("delay", generate_storm_plans(seed + b"/delay", n_plans,
+                                       profile="delay")),
+    ]
+    rows: list[list[Any]] = []
+    facts: dict[str, Any] = {}
+    latencies: list[float] = []
+    for tag, plans in campaigns:
+        runner = CampaignRunner(
+            seed=seed + b"/" + tag.encode(), observe=True, slo=True)
+        report = runner.run(plans)
+        slo_report = report.slo
+        burn = slo_report.burn_alerts()
+        latencies.extend(o.elapsed for o in report.outcomes)
+        worst = min(slo_report.statuses, key=lambda s: s.budget_remaining)
+        facts[f"{tag}/plans"] = len(report.outcomes)
+        facts[f"{tag}/status_counts"] = report.status_counts()
+        facts[f"{tag}/hung"] = report.hung_sessions
+        facts[f"{tag}/burn_alerts"] = len(burn)
+        facts[f"{tag}/alerts"] = len(report.alerts)
+        facts[f"{tag}/alert_counts"] = _alert_counts(report.alerts)
+        facts[f"{tag}/min_budget_remaining"] = round(worst.budget_remaining, 4)
+        facts[f"{tag}/signature"] = report.signature()
+        rows.append([
+            tag, len(report.outcomes), report.hung_sessions, len(burn),
+            f"{worst.name}={worst.budget_remaining:.0%}",
+            "; ".join(f"{k}:{v}" for k, v in report.status_counts().items()),
+        ])
+
+    # Shard the pooled latencies round-robin, merge the shard sketches,
+    # and hold the merge to both the exactness and the accuracy bound.
+    alpha = 0.01
+    global_sketch = QuantileSketch("ob3.latency", alpha=alpha)
+    shard_sketches = [
+        QuantileSketch("ob3.latency", alpha=alpha) for _ in range(shards)]
+    for i, value in enumerate(latencies):
+        global_sketch.observe(value)
+        shard_sketches[i % shards].observe(value)
+    merged = QuantileSketch.merged("ob3.latency", shard_sketches, alpha=alpha)
+    facts["samples"] = len(latencies)
+    facts["alpha"] = alpha
+    facts["shards"] = shards
+    facts["sketch_merge_exact"] = (
+        merged.buckets == global_sketch.buckets
+        and merged.count == global_sketch.count
+        and merged.zero_count == global_sketch.zero_count
+        and merged.min == global_sketch.min
+        and merged.max == global_sketch.max
+    )
+    sv = sorted(latencies)
+    within = True
+    quantiles: dict[str, float] = {}
+    for q in (0.5, 0.9, 0.95, 0.99):
+        est = merged.quantile(q)
+        quantiles[f"p{int(q * 100)}"] = round(est, 6)
+        # The sketch targets the floor-rank sample; accept either
+        # neighbour rank so the check tests the error bound, not the
+        # tie-breaking convention at rank boundaries.
+        i = int(q * (len(sv) - 1))
+        within = within and any(
+            abs(est - sv[j]) <= alpha * sv[j] + 1e-9
+            for j in (max(i - 1, 0), i, min(i + 1, len(sv) - 1)))
+    facts["sketch_merge_within_bound"] = within
+    facts["merged_quantiles"] = quantiles
+    facts["clean_run_silent"] = (
+        facts["clean/alerts"] == 0 and facts["clean/burn_alerts"] == 0)
+    facts["storms_fire_burn_alerts"] = all(
+        facts[f"{tag}/burn_alerts"] >= 1 for tag in ("blackout", "delay"))
+    rows.append([
+        "sketch-merge", facts["samples"], "-", "-",
+        f"exact={facts['sketch_merge_exact']}",
+        f"p99={quantiles['p99']:g} within_bound={within}",
+    ])
+    return ExperimentResult(
+        experiment_id="OB3",
+        title="Extension — SLO error budgets + burn-rate alerting "
+        "(storms page, clean runs stay silent)",
+        headers=["campaign", "plans", "hung", "burn alerts",
+                 "worst budget", "detail"],
+        rows=rows,
+        facts=facts,
+        notes="Three campaigns over the same TPNR wire surface: a clean "
+        "control and two seeded fault storms (blackout drops every message; "
+        "delay holds key messages past the 10 s latency objective). Each "
+        "runs with the standard campaign SLOs attached; the multi-window "
+        "burn-rate detectors must page on every storm and stay silent on "
+        "the control. The pooled per-plan latencies, sharded "
+        f"{shards}-way and merged, reproduce the global sketch exactly.",
+        meta=run_meta(seed),
+    )
 
 
 # ---------------------------------------------------------------------------

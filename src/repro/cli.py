@@ -36,6 +36,15 @@ Commands
     against the Arbitrator); with ``--selftest``, sweep a seeded fault
     sub-campaign and require every failure to be attributed to a
     classified violation with zero false positives.
+``slo [--watch] [--profile P] [--plans N] [--seed S]``
+    Run a fault campaign with the standard SLOs attached (session
+    success, terminal-verdict latency, evidence verification) and
+    print the error-budget table plus any multi-window burn-rate
+    alerts.  ``--profile`` picks the plan mix (``clean`` or one of the
+    ``blackout``/``delay``/``corrupt``/``mixed`` storms); ``--watch``
+    renders the live dashboard (per-SLO budget bars, burn rates, top
+    offending fault classes) after every plan.  Exit status checks the
+    alerting contract: clean runs must stay silent, storms must page.
 ``replication [--campaign|--migrate] [--plans N] [--replica R] [--seed S]``
     One TPNR session over the replicated three-backend store: a
     replica is tampered mid-session, the read hedges past it, and the
@@ -313,6 +322,57 @@ def _cmd_replication(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Run a campaign under the standard SLOs; ``--watch`` renders the
+    live dashboard per plan.  Exit status enforces the alerting
+    contract (clean runs silent, storms paging, nothing hung)."""
+    from .net.faults import CampaignRunner, FaultPlan, generate_storm_plans
+    from .obs.dashboard import DashboardFrame, render_frame, top_fault_classes
+
+    seed = args.seed.encode()
+    if args.profile == "clean":
+        plans = [FaultPlan(name=f"s{i:03d}-clean") for i in range(args.plans)]
+    else:
+        plans = generate_storm_plans(seed, args.plans, profile=args.profile)
+    title = f"SLO dashboard — {args.profile} campaign (seed={args.seed!r})"
+    # A real terminal gets an in-place refresh; captured output gets
+    # one frame per plan, which is also what the CLI tests assert on.
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    outcomes: list = []
+
+    def on_plan(_index: int, outcome) -> None:
+        outcomes.append(outcome)
+        if not args.watch:
+            return
+        frame = DashboardFrame(
+            title=title,
+            now=runner.deployment.sim.now,
+            done=len(outcomes),
+            total=len(plans),
+            statuses=runner.slos.statuses(),
+            alerts=list(runner.slos.alerts),
+            offenders=top_fault_classes(outcomes),
+        )
+        print(clear + render_frame(frame))
+
+    runner = CampaignRunner(seed=seed, observe=True, slo=True, on_plan=on_plan)
+    report = runner.run(plans)
+    slo_report = report.slo
+    burn = slo_report.burn_alerts()
+    print(slo_report.table(title=title))
+    if slo_report.alerts:
+        print()
+        print(slo_report.alerts_table())
+    expect_silent = args.profile == "clean"
+    ok = report.hung_sessions == 0 and (
+        len(burn) == 0 if expect_silent else len(burn) >= 1)
+    print(f"\n{len(plans)} plans, {report.hung_sessions} hung, "
+          f"{len(burn)} burn alert(s); contract "
+          f"({'silent' if expect_silent else 'pages'}) "
+          f"{'holds' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     """The scenario control plane: list/describe/run/gate."""
     import json
@@ -487,6 +547,17 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["s3like", "azurelike", "gaelike"],
                      help="replica to tamper in the demo")
     p_r.set_defaults(func=_cmd_replication)
+
+    p_sl = sub.add_parser("slo",
+                          help="campaign under SLOs with a live dashboard")
+    p_sl.add_argument("--seed", default="cli", help="determinism seed")
+    p_sl.add_argument("--profile", default="mixed",
+                      choices=["clean", "blackout", "delay", "corrupt", "mixed"],
+                      help="plan mix: clean control or a storm profile")
+    p_sl.add_argument("--plans", type=int, default=12, help="campaign size")
+    p_sl.add_argument("--watch", action="store_true",
+                      help="render the live dashboard after every plan")
+    p_sl.set_defaults(func=_cmd_slo)
 
     p_t = sub.add_parser("throughput", help="sweep the multi-tenant session engine")
     p_t.add_argument("--tenants", type=int, nargs="+", default=[1, 10, 50],

@@ -47,6 +47,7 @@ from ..obs.anomaly import (
     QuantileThresholdDetector,
     RateShiftDetector,
 )
+from ..obs.slo import SLOManager, standard_engine_slos
 
 __all__ = [
     "EngineConfig",
@@ -109,6 +110,7 @@ class EngineConfig:
     observe: bool = True
     sample_interval: float = 0.5  # in-flight gauge sampling period (sim s)
     anomaly: bool = True  # poll anomaly detectors per sample (observe only)
+    slo: bool = True  # evaluate the standard engine SLOs (observe only)
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
@@ -230,6 +232,9 @@ class PoolResult:
     # Anomaly alerts from the sampling loop; telemetry only, excluded
     # from signature() like the wall-clock timings.
     alerts: list = dataclass_field(default_factory=list)
+    # End-of-run SLOReport (config.slo); telemetry only, excluded from
+    # signature() like alerts.
+    slo: object | None = None
 
     @property
     def completed(self) -> int:
@@ -313,6 +318,7 @@ class SessionPool:
         self._inflight = 0
         self._obs: Observability = NULL_OBS
         self.monitor: AnomalyMonitor | None = None
+        self.slos: SLOManager | None = None
 
     # -- world construction --------------------------------------------------
 
@@ -358,6 +364,11 @@ class SessionPool:
             self.monitor = attach_engine_detectors(
                 self._obs.monitor, self._obs.metrics, self._total_retransmits
             )
+        self.slos = None
+        if config.observe and config.slo:
+            sim = self.sim
+            self.slos = standard_engine_slos(
+                SLOManager(self._obs.metrics, clock=lambda: sim.now))
 
     def _total_retransmits(self) -> int:
         assert self.provider is not None and self.ttp is not None
@@ -440,6 +451,10 @@ class SessionPool:
             latency = session.latency
             if latency is not None:
                 obs.metrics.histogram("engine.session_latency_seconds").observe(latency)
+                # The sketch twin of the latency histogram: mergeable
+                # per-shard once the engine shards, and the series the
+                # session-latency SLO reads.
+                obs.metrics.sketch("engine.session_latency").observe(latency)
 
     # -- driving -------------------------------------------------------------
 
@@ -455,6 +470,8 @@ class SessionPool:
                 obs.metrics.gauge("engine.inflight_sessions").set(self._inflight)
                 if monitor is not None:
                     monitor.poll(sim.now)
+                if self.slos is not None:
+                    self.slos.poll(sim.now)
 
     def run(self) -> PoolResult:
         """Build, schedule, drive, and summarize one pool run.
@@ -502,4 +519,5 @@ class SessionPool:
             cache_stats=bundle.stats() if bundle is not None else None,
             obs=obs,
             alerts=list(self.monitor.alerts) if self.monitor is not None else [],
+            slo=self.slos.report(self.sim.now) if self.slos is not None else None,
         )

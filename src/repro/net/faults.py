@@ -55,6 +55,7 @@ __all__ = [
     "generate_plans",
     "generate_amnesia_plans",
     "generate_replica_plans",
+    "generate_storm_plans",
     "REPLICA_NAMES",
     "CampaignOutcome",
     "CampaignReport",
@@ -500,6 +501,53 @@ def generate_replica_plans(seed: bytes | str, n: int) -> list[FaultPlan]:
     return plans
 
 
+def generate_storm_plans(seed: bytes | str, n: int, profile: str = "mixed") -> list[FaultPlan]:
+    """Deterministically generate *n* fault-*storm* plans from *seed*.
+
+    The plans of :func:`generate_plans` are surgical (one targeted
+    fault, usually masked); storms are what the SLO layer exists to
+    catch — a sustained bad patch where most sessions go wrong at
+    once, burning the error budget fast enough to page.  Profiles:
+
+    * ``"blackout"`` — drop every TPNR message for the whole session
+      (retransmits included), forcing abort/failure verdicts;
+    * ``"delay"`` — hold key messages for 12–30 sim-seconds, pushing
+      terminal-verdict latency far past the 10 s objective;
+    * ``"corrupt"`` — corrupt the first several uploads, forcing
+      retransmission storms and Resolve escalations;
+    * ``"mixed"`` — a seeded blend of the above.
+
+    Same seed, same *n*, same profile -> the identical plan list.
+    """
+    rng = HmacDrbg(seed, personalization=b"storm-plans/" + profile.encode())
+    kinds = ("blackout", "delay", "corrupt")
+    if profile not in kinds + ("mixed",):
+        raise ValueError(f"unknown storm profile {profile!r}")
+    plans: list[FaultPlan] = []
+    for i in range(n):
+        kind = profile if profile != "mixed" else rng.choice(kinds)
+        if kind == "blackout":
+            plans.append(FaultPlan(
+                name=f"s{i:03d}-storm-blackout",
+                rules=(FaultRule(FaultAction.DROP, "tpnr.", count=64),),
+            ))
+        elif kind == "delay":
+            hold = round(12.0 + rng.random() * 18.0, 3)
+            target = rng.choice(
+                ("tpnr.upload.receipt", "tpnr.upload", "tpnr.download.response"))
+            plans.append(FaultPlan(
+                name=f"s{i:03d}-storm-delay",
+                rules=(FaultRule(
+                    FaultAction.DELAY, target, count=3, delay=hold),),
+            ))
+        else:
+            plans.append(FaultPlan(
+                name=f"s{i:03d}-storm-corrupt",
+                rules=(FaultRule(FaultAction.CORRUPT, "tpnr.upload", count=8),),
+            ))
+    return plans
+
+
 # ---------------------------------------------------------------------------
 # Campaign running
 # ---------------------------------------------------------------------------
@@ -568,6 +616,9 @@ class CampaignReport:
     # Anomaly alerts emitted during the run (anomaly=True); excluded
     # from signature() like all telemetry-only surfaces.
     alerts: list = field(default_factory=list)
+    # End-of-run SLOReport (slo=True); telemetry-only, excluded from
+    # signature() like alerts.
+    slo: object | None = None
 
     HEADERS = (
         "#", "plan", "faults", "status", "detail", "ttp",
@@ -649,11 +700,15 @@ class CampaignRunner:
         observe: bool = False,
         forensics: bool = False,
         anomaly: bool = False,
+        slo: bool = False,
+        on_plan=None,
     ) -> None:
         if scenario not in ("session", "upload", "abort"):
             raise ValueError(f"unknown scenario {scenario!r}")
         if anomaly and not observe:
             raise ValueError("anomaly detection requires observe=True")
+        if slo and not observe:
+            raise ValueError("SLO evaluation requires observe=True")
         self.seed = seed if isinstance(seed, str) else seed.decode("latin-1")
         self.scenario = scenario
         self.payload_range = payload_range
@@ -661,6 +716,12 @@ class CampaignRunner:
         self.observe = observe
         self.forensics = forensics
         self.anomaly = anomaly
+        self.slo = slo
+        # on_plan: optional (index, outcome) callback fired after each
+        # plan's audit — the live-dashboard hook; it sees self.slos and
+        # self.deployment mid-run.
+        self.on_plan = on_plan
+        self.slos = None  # the SLOManager, exposed once run() starts
         self.deployment = None  # the shared deployment, exposed after run()
         self._rng = HmacDrbg(seed, personalization=b"fault-campaign")
 
@@ -690,6 +751,13 @@ class CampaignRunner:
             from ..obs.campaign import attach_campaign_detectors  # lazy: see render()
 
             monitor = attach_campaign_detectors(dep.obs.monitor, dep.obs.metrics)
+        slos = None
+        if self.slo:
+            from ..obs.slo import SLOManager, standard_campaign_slos  # lazy: see render()
+
+            slos = standard_campaign_slos(
+                SLOManager(dep.obs.metrics, clock=lambda: dep.sim.now))
+            self.slos = slos
         report = CampaignReport(seed=self.seed, scenario=self.scenario)
         lo, hi = self.payload_range
         for index, plan in enumerate(plans):
@@ -735,9 +803,17 @@ class CampaignRunner:
                     findings=findings,
                 )
             )
-            if monitor is not None:
+            if monitor is not None or slos is not None:
                 self._feed_anomaly_metrics(dep, report.outcomes[-1])
+            if monitor is not None:
                 report.alerts.extend(monitor.poll(dep.sim.now))
+            if slos is not None:
+                self._feed_slo_metrics(dep, report.outcomes[-1])
+                report.alerts.extend(slos.poll(dep.sim.now))
+            if self.on_plan is not None:
+                self.on_plan(index, report.outcomes[-1])
+        if slos is not None:
+            report.slo = slos.report(dep.sim.now)
         if dep.obs.enabled:
             from ..obs.campaign import record_campaign_metrics  # lazy: see render()
 
@@ -759,6 +835,23 @@ class CampaignRunner:
             "campaign.live.sessions", outcome="ok" if ok else "failed"
         ).inc()
         metrics.histogram("campaign.live.latency_seconds").observe(outcome.elapsed)
+
+    @staticmethod
+    def _feed_slo_metrics(dep: "Deployment", outcome: CampaignOutcome) -> None:
+        """Mirror one plan's outcome into the counters/sketches the
+        standard campaign SLIs read.  A good *verdict* is a session
+        that reached completed/resolved without hanging; *evidence* is
+        good when the end-to-end download verified."""
+        metrics = dep.obs.metrics
+        verdict_ok = outcome.status in ("completed", "resolved") and not outcome.hung
+        metrics.counter(
+            "campaign.live.verdicts", outcome="ok" if verdict_ok else "bad"
+        ).inc()
+        metrics.counter(
+            "campaign.live.evidence",
+            outcome="ok" if outcome.download_ok else "bad",
+        ).inc()
+        metrics.sketch("campaign.live.latency").observe(outcome.elapsed)
 
     @staticmethod
     def _counters(dep: "Deployment") -> tuple[int, int]:

@@ -28,12 +28,28 @@ so the disabled cost is one attribute load and one branch
 Exporters (:mod:`repro.obs.exporters`) turn either surface into JSONL,
 Prometheus text, or human-readable tables;
 :mod:`repro.obs.campaign` folds FC1/CR1 campaign reports into
-per-fault-class retry/escalation/latency breakdowns.
+per-fault-class retry/escalation/latency breakdowns;
+:mod:`repro.obs.sketch` adds mergeable quantile sketches with
+tumbling-window aggregation; :mod:`repro.obs.slo` declares service
+objectives with error budgets and multi-window burn-rate alerting;
+:mod:`repro.obs.dashboard` renders the live ``repro slo --watch``
+view of a running campaign.
 """
 
 from __future__ import annotations
 
-from . import anomaly, campaign, exporters, forensics, instrument, metrics, span
+from . import (
+    anomaly,
+    campaign,
+    dashboard,
+    exporters,
+    forensics,
+    instrument,
+    metrics,
+    sketch,
+    slo,
+    span,
+)
 from .anomaly import (
     Alert,
     AnomalyMonitor,
@@ -66,14 +82,31 @@ from .forensics import (
     TimelineEntry,
     TimelineReconstructor,
 )
+from .dashboard import DashboardFrame, budget_bar, render_frame, top_fault_classes
 from .instrument import CryptoObserver, observe_crypto
 from .metrics import (
     NULL_METRICS,
+    CardinalityError,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+)
+from .sketch import QuantileSketch, SketchAggregator, WindowSnapshot
+from .slo import (
+    BurnWindow,
+    CounterRatioSLI,
+    HistogramThresholdSLI,
+    SketchThresholdSLI,
+    SLOManager,
+    SLOReport,
+    SLOSpec,
+    SLOStatus,
+    slo_jsonl,
+    standard_campaign_slos,
+    standard_engine_slos,
+    standard_replication_slos,
 )
 from .span import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -82,10 +115,13 @@ __all__ = [
     "NULL_OBS",
     "anomaly",
     "campaign",
+    "dashboard",
     "exporters",
     "forensics",
     "instrument",
     "metrics",
+    "sketch",
+    "slo",
     "span",
     "Alert",
     "AnomalyMonitor",
@@ -103,9 +139,29 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "CardinalityError",
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileSketch",
+    "SketchAggregator",
+    "WindowSnapshot",
+    "BurnWindow",
+    "SLOSpec",
+    "SLOStatus",
+    "SLOReport",
+    "SLOManager",
+    "CounterRatioSLI",
+    "HistogramThresholdSLI",
+    "SketchThresholdSLI",
+    "slo_jsonl",
+    "standard_campaign_slos",
+    "standard_engine_slos",
+    "standard_replication_slos",
+    "DashboardFrame",
+    "budget_bar",
+    "render_frame",
+    "top_fault_classes",
     "Span",
     "Tracer",
     "NullTracer",

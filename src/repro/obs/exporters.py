@@ -16,6 +16,7 @@ from __future__ import annotations
 import json
 
 from .metrics import Histogram, MetricsRegistry
+from .sketch import QuantileSketch
 from .span import Span, Tracer
 
 __all__ = [
@@ -112,6 +113,16 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         elif row["kind"] == "gauge":
             declare(name, "gauge")
             lines.append(f"{name}{_prom_labels(row['labels'])} {_prom_num(row['value'])}")
+        elif row["kind"] == "sketch":
+            # Sketches export as Prometheus summaries: pre-computed
+            # quantile series plus _sum/_count.
+            declare(name, "summary")
+            sketch = QuantileSketch.from_snapshot(row)
+            for q in (0.5, 0.9, 0.99):
+                ql = _prom_labels(row["labels"], {"quantile": _prom_num(q)})
+                lines.append(f"{name}{ql} {_prom_num(sketch.quantile(q))}")
+            lines.append(f"{name}_sum{_prom_labels(row['labels'])} {_prom_num(row['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(row['labels'])} {row['count']}")
         else:
             declare(name, "histogram")
             running = 0
@@ -141,6 +152,11 @@ def summary_table(registry: MetricsRegistry, title: str = "Metrics summary") -> 
             mean = row["sum"] / row["count"] if row["count"] else 0.0
             rows.append([row["name"], _labels_str(row["labels"]), "histogram",
                          f"n={row['count']} mean={mean:.4g}"])
+        elif row["kind"] == "sketch":
+            sketch = QuantileSketch.from_snapshot(row)
+            rows.append([row["name"], _labels_str(row["labels"]), "sketch",
+                         f"n={row['count']} p50={sketch.quantile(0.5):.4g} "
+                         f"p99={sketch.quantile(0.99):.4g}"])
         else:
             rows.append([row["name"], _labels_str(row["labels"]), row["kind"],
                          _prom_num(row["value"])])

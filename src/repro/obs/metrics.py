@@ -22,6 +22,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from .sketch import DEFAULT_ALPHA, QuantileSketch
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -29,6 +31,7 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NULL_METRICS",
+    "CardinalityError",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
 ]
@@ -86,6 +89,11 @@ class Histogram:
     ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the
     implicit final bucket is ``+Inf``.  Buckets are fixed at creation —
     no rebinning, so merged/compared snapshots always line up.
+
+    The observed ``min``/``max`` are tracked alongside the buckets
+    (``None`` until the first observation).  Snapshot rows gained
+    ``"min"``/``"max"`` keys additively — every pre-existing key is
+    unchanged, so older snapshot consumers keep working.
     """
 
     name: str
@@ -94,6 +102,8 @@ class Histogram:
     bucket_counts: list[int] = field(default_factory=list)
     count: int = 0
     sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
 
     def __post_init__(self) -> None:
         if list(self.buckets) != sorted(self.buckets):
@@ -105,6 +115,10 @@ class Histogram:
         self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
         self.count += 1
         self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
 
     @property
     def mean(self) -> float:
@@ -118,13 +132,23 @@ class Histogram:
             out.append(running)
         return out
 
+    def _overflow_estimate(self) -> float:
+        # A rank in the +Inf bucket reports the observed max — the
+        # best upper estimate available without raw samples.  (Before
+        # min/max tracking this clamped to the last finite bound,
+        # which under-reported tail quantiles; positionally-built
+        # histograms with no recorded max keep the old clamp.)
+        if self.max is not None:
+            return self.max
+        return float(self.buckets[-1]) if self.buckets else 0.0
+
     def quantile(self, q: float) -> float:
         """Estimate the *q*-quantile (Prometheus ``histogram_quantile``).
 
         Linear interpolation inside the bucket holding the target rank;
-        the implicit ``+Inf`` bucket clamps to the last finite bound
-        (there is nothing better to report without raw samples).
-        Returns 0.0 with no observations.
+        a rank landing in the implicit ``+Inf`` bucket reports the
+        observed ``max`` (falling back to the last finite bound only
+        when no max was recorded).  Returns 0.0 with no observations.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -135,7 +159,7 @@ class Histogram:
         for i, running in enumerate(cumulative):
             if running >= rank:
                 if i >= len(self.buckets):  # +Inf bucket
-                    return float(self.buckets[-1]) if self.buckets else 0.0
+                    return self._overflow_estimate()
                 lower = float(self.buckets[i - 1]) if i > 0 else 0.0
                 upper = float(self.buckets[i])
                 in_bucket = self.bucket_counts[i]
@@ -143,21 +167,49 @@ class Histogram:
                     return upper
                 below = running - in_bucket
                 return lower + (upper - lower) * ((rank - below) / in_bucket)
-        return float(self.buckets[-1]) if self.buckets else 0.0
+        return self._overflow_estimate()
+
+
+class CardinalityError(ValueError):
+    """A metric name exceeded the registry's label-cardinality budget
+    (raised only in ``budget_mode="raise"``)."""
+
+
+# The per-(name, kind) series that absorbs observations once a name's
+# label budget is spent (budget_mode="drop").
+_OVERFLOW_LABELS = (("overflow", "true"),)
 
 
 class MetricsRegistry:
-    """Get-or-create home for every instrument of one observed world."""
+    """Get-or-create home for every instrument of one observed world.
+
+    ``label_budget`` caps the distinct label sets per metric name
+    (default ``None`` — unlimited).  Exceeding the cap either raises
+    :class:`CardinalityError` (``budget_mode="raise"``, the default —
+    what tests want) or, in production mode (``budget_mode="drop"``),
+    folds the overflowing series into one shared
+    ``{overflow="true"}`` instrument per (name, kind) and increments
+    the unlabeled ``metrics_dropped_labels`` counter, so cardinality
+    explosions degrade resolution instead of memory.
+    """
 
     enabled = True
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock=None, label_budget: int | None = None,
+                 budget_mode: str = "raise") -> None:
         # clock: () -> float, normally the simulation clock.  Snapshots
         # are stamped with it so they are deterministic per seed.
+        if budget_mode not in ("raise", "drop"):
+            raise ValueError(f"budget_mode must be 'raise' or 'drop', got {budget_mode!r}")
+        if label_budget is not None and label_budget < 1:
+            raise ValueError(f"label_budget must be >= 1, got {label_budget}")
         self._clock = clock or (lambda: 0.0)
+        self.label_budget = label_budget
+        self.budget_mode = budget_mode
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
+        self._sketches: dict[tuple, QuantileSketch] = {}
         # One kind per metric name, ever — a name that is a counter in
         # one call site and a gauge in another would export two
         # conflicting series under one identifier.
@@ -165,6 +217,7 @@ class MetricsRegistry:
         # Metric names whose *values* depend on real wall time (crypto
         # timings); excluded from the deterministic snapshot.
         self._nondeterministic: set[str] = set()
+        self._label_sets: dict[str, set[tuple]] = {}
 
     @property
     def now(self) -> float:
@@ -177,12 +230,38 @@ class MetricsRegistry:
         if claimed != kind:
             raise TypeError(f"metric {name!r} is a {claimed}, not a {kind}")
 
+    def _admit(self, name: str, labels: tuple) -> tuple:
+        """Apply the label-cardinality budget; returns the label set to
+        use (the requested one, or the overflow set in drop mode)."""
+        if self.label_budget is None:
+            return labels
+        seen = self._label_sets.setdefault(name, set())
+        if labels in seen or len(seen) < self.label_budget:
+            seen.add(labels)
+            return labels
+        if self.budget_mode == "raise":
+            raise CardinalityError(
+                f"metric {name!r} exceeded label budget "
+                f"{self.label_budget} with labels {labels}")
+        # Production mode: count the drop and fold into the shared
+        # overflow series.  The counter bypasses _admit (no labels).
+        key = ("metrics_dropped_labels", ())
+        dropped = self._counters.get(key)
+        if dropped is None:
+            self._claim_kind("metrics_dropped_labels", "counter")
+            dropped = self._counters[key] = Counter("metrics_dropped_labels")
+        dropped.inc()
+        return _OVERFLOW_LABELS
+
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _label_key(labels))
         found = self._counters.get(key)
         if found is None:
             self._claim_kind(name, "counter")
-            found = self._counters[key] = Counter(name, key[1])
+            key = (name, self._admit(name, key[1]))
+            found = self._counters.get(key)
+            if found is None:
+                found = self._counters[key] = Counter(name, key[1])
         return found
 
     def gauge(self, name: str, **labels: str) -> Gauge:
@@ -190,7 +269,10 @@ class MetricsRegistry:
         found = self._gauges.get(key)
         if found is None:
             self._claim_kind(name, "gauge")
-            found = self._gauges[key] = Gauge(name, key[1])
+            key = (name, self._admit(name, key[1]))
+            found = self._gauges.get(key)
+            if found is None:
+                found = self._gauges[key] = Gauge(name, key[1])
         return found
 
     def histogram(
@@ -203,7 +285,24 @@ class MetricsRegistry:
         found = self._histograms.get(key)
         if found is None:
             self._claim_kind(name, "histogram")
-            found = self._histograms[key] = Histogram(name, buckets, key[1])
+            key = (name, self._admit(name, key[1]))
+            found = self._histograms.get(key)
+            if found is None:
+                found = self._histograms[key] = Histogram(name, buckets, key[1])
+        return found
+
+    def sketch(self, name: str, alpha: float = DEFAULT_ALPHA,
+               **labels: str) -> QuantileSketch:
+        """A mergeable quantile sketch (see :mod:`repro.obs.sketch`)."""
+        key = (name, _label_key(labels))
+        found = self._sketches.get(key)
+        if found is None:
+            self._claim_kind(name, "sketch")
+            key = (name, self._admit(name, key[1]))
+            found = self._sketches.get(key)
+            if found is None:
+                found = self._sketches[key] = QuantileSketch(
+                    name, alpha=alpha, labels=key[1])
         return found
 
     def mark_nondeterministic(self, name: str) -> None:
@@ -229,8 +328,13 @@ class MetricsRegistry:
             rows.append({
                 "kind": "histogram", "name": name, "labels": dict(labels),
                 "buckets": list(h.buckets), "bucket_counts": list(h.bucket_counts),
-                "count": h.count, "sum": h.sum, "at": at,
+                "count": h.count, "sum": h.sum, "min": h.min, "max": h.max,
+                "at": at,
             })
+        for (name, labels), s in self._sketches.items():
+            row = s.snapshot()
+            row.update({"kind": "sketch", "at": at})
+            rows.append(row)
         rows.sort(key=lambda r: (r["kind"], r["name"], sorted(r["labels"].items())))
         return rows
 
@@ -240,7 +344,8 @@ class MetricsRegistry:
         return [r for r in self.snapshot() if r["name"] not in self._nondeterministic]
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms) + len(self._sketches))
 
 
 class _NullCounter(Counter):
@@ -264,6 +369,11 @@ class _NullHistogram(Histogram):
         pass
 
 
+class _NullSketch(QuantileSketch):
+    def observe(self, value: float) -> None:
+        pass
+
+
 class NullMetricsRegistry(MetricsRegistry):
     """The disabled registry: every lookup returns a shared no-op.
 
@@ -278,6 +388,7 @@ class NullMetricsRegistry(MetricsRegistry):
         self._null_counter = _NullCounter("null")
         self._null_gauge = _NullGauge("null")
         self._null_histogram = _NullHistogram("null", buckets=(1.0,))
+        self._null_sketch = _NullSketch("null")
 
     def counter(self, name: str, **labels: str) -> Counter:
         return self._null_counter
@@ -287,6 +398,9 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def histogram(self, name: str, buckets=DEFAULT_LATENCY_BUCKETS, **labels: str) -> Histogram:
         return self._null_histogram
+
+    def sketch(self, name: str, alpha: float = DEFAULT_ALPHA, **labels: str) -> QuantileSketch:
+        return self._null_sketch
 
     def snapshot(self) -> list[dict]:
         return []

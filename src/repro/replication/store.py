@@ -38,6 +38,7 @@ from ..crypto.drbg import HmacDrbg
 from ..crypto.hashes import digest
 from ..crypto.hmac_ import hmac_digest
 from ..errors import NoSuchObjectError, ReproError, StorageError
+from ..obs.metrics import NULL_METRICS
 from ..storage.azurelike import AzureLikeClient, AzureLikeService
 from ..storage.blobstore import BlobStore, ObjectStat, StoredObject
 from ..storage.gaelike import GaeLikeService
@@ -252,10 +253,14 @@ class ReplicatedStore:
         quorum: int | None = None,
         name: str = "replicated",
         clock=None,
+        metrics=None,
     ) -> None:
         self.seed = seed if isinstance(seed, bytes) else seed.encode()
         self.name = name
         self.clock = clock  # callable -> sim time, set by attach_replication
+        # A MetricsRegistry or the shared no-op; attach_replication
+        # swaps in the deployment's live registry when observed.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         adapters = tuple(replicas) if replicas is not None else default_replicas(seed)
         if not adapters:
             raise ReplicationError("a replicated store needs at least one replica")
@@ -278,6 +283,9 @@ class ReplicatedStore:
         self.read_repairs = 0
         self.rejected_writes = 0
         self._op_seq = 0
+        # Injection time per (replica, container, key), so the first
+        # finding that exposes the fault yields a detection latency.
+        self._fault_marks: dict[tuple[str, str, str], float] = {}
 
     def _derive_mac_key(self, replica_name: str) -> bytes:
         return HmacDrbg(
@@ -331,6 +339,22 @@ class ReplicatedStore:
         self.events.append(ReplicaEvent(
             self._now(), replica, action, container, key, version, detail))
 
+    def _observe_finding(self, finding) -> None:
+        """Mirror one verifier finding into the metrics seat, and close
+        out its fork-detection-latency measurement if this finding is
+        the first to expose an injected fault."""
+        if finding is None:
+            return
+        mark = self._fault_marks.pop(
+            (finding.replica, finding.container, finding.key), None)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "replication.findings", category=finding.category).inc()
+            if mark is not None:
+                self.metrics.sketch(
+                    "replication.fork_detection_seconds"
+                ).observe(max(0.0, self._now() - mark))
+
     def read_order(self, container: str, key: str) -> list[str]:
         """Replica preference order for one object: HMAC-ranked, so it
         is deterministic per key but spreads across keys."""
@@ -363,6 +387,8 @@ class ReplicatedStore:
             # Reject before dirtying any replica: an under-quorum write
             # must never leave a minority holding uncommitted versions.
             self.rejected_writes += 1
+            if self.metrics.enabled:
+                self.metrics.counter("replication.rejected_writes").inc()
             self._emit("-", "write-rejected", container, key, version,
                        detail=f"{len(up)}/{self.quorum} reachable")
             raise ReplicationError(
@@ -387,6 +413,8 @@ class ReplicatedStore:
                              digest("sha256", data).hex(), md5.hex(),
                              len(data), at_time, acked)
         self.put_count += 1
+        if self.metrics.enabled:
+            self.metrics.counter("replication.writes").inc()
         return StoredObject(
             container=container, key=key, data=data, content_md5=md5,
             metadata=dict(metadata or {}), created_at=at_time, version=version,
@@ -412,7 +440,8 @@ class ReplicatedStore:
                 payload = handle.adapter.get(container, key)
             except ReproError as exc:
                 self._emit(name, "read-miss", container, key, detail=str(exc))
-                self.verifier.check_missing(name, container, key)
+                self._observe_finding(
+                    self.verifier.check_missing(name, container, key))
                 repair.append(name)
                 continue
             attestation = handle.attest(container, key, payload)
@@ -420,9 +449,16 @@ class ReplicatedStore:
             if finding is None:
                 if attempts > 1:
                     self.hedged_reads += 1
+                    if self.metrics.enabled:
+                        self.metrics.counter("replication.hedged_reads").inc()
                 self._emit(name, "read", container, key, attestation.version)
                 self._read_repair(container, key, payload, latest, repair)
                 self.get_count += 1
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "replication.reads",
+                        outcome="repaired" if repair else "clean",
+                    ).inc()
                 return StoredObject(
                     container=container, key=key, data=payload,
                     content_md5=bytes.fromhex(latest.md5),
@@ -430,6 +466,7 @@ class ReplicatedStore:
                 )
             self._emit(name, "read-reject", container, key,
                        attestation.version, detail=finding.category)
+            self._observe_finding(finding)
             repair.append(name)
         raise ReplicationError(
             f"no replica served a verified copy of {container}/{key}")
@@ -447,6 +484,8 @@ class ReplicatedStore:
             handle.forged.discard((container, key))
             self.verifier.mark_acked(container, key, name, latest.version)
             self.read_repairs += 1
+            if self.metrics.enabled:
+                self.metrics.counter("replication.read_repairs").inc()
             self._emit(name, "read-repair", container, key, latest.version)
 
     def delete(self, container: str, key: str) -> None:
@@ -561,6 +600,7 @@ class ReplicatedStore:
             content_md5=digest("md5", data))
         if forge_attestation:
             handle.forged.add((container, key))
+        self._fault_marks[(name, container, key)] = self._now()
         self._emit(name, "tampered", container, key,
                    handle.versions.get((container, key), 0),
                    detail="forged-mac" if forge_attestation else "fixup-md5")
@@ -574,6 +614,7 @@ class ReplicatedStore:
         forked_version = handle.versions.get((container, key), 0) + 1
         handle.versions[(container, key)] = forked_version
         handle.vectors.setdefault((container, key), {})[name] = forked_version
+        self._fault_marks[(name, container, key)] = self._now()
         self._emit(name, "minority-write", container, key, forked_version)
 
     # -- the Venus-style audit sweep -----------------------------------------
@@ -590,10 +631,11 @@ class ReplicatedStore:
                 try:
                     payload = handle.adapter.get(container, key)
                 except ReproError:
-                    self.verifier.check_missing(handle.name, container, key)
+                    self._observe_finding(
+                        self.verifier.check_missing(handle.name, container, key))
                     continue
-                self.verifier.check_read(
-                    handle.attest(container, key, payload))
+                self._observe_finding(self.verifier.check_read(
+                    handle.attest(container, key, payload)))
         self._emit("-", "audit", "-", "-",
                    detail=f"{len(self.verifier.findings) - before} findings")
         return self.verifier.findings[before:]
@@ -618,6 +660,8 @@ def attach_replication(deployment, store: ReplicatedStore) -> ReplicatedStore:
     forensics (the ``replica`` timeline source and the auditor's
     replication check read ``deployment.replication``)."""
     store.clock = lambda: deployment.sim.now
+    if getattr(deployment.obs, "enabled", False):
+        store.metrics = deployment.obs.metrics
     deployment.provider.store = store
     deployment.replication = store
     return store

@@ -18,9 +18,9 @@ The registry is what turns a spec into a run:
   (sorted keys, nondeterministic meta stripped) — the form the
   cross-seed determinism tests compare.
 
-``DEFAULT_REGISTRY`` registers all twenty-one experiments; the seven
-campaign/engine scenarios (FC1, CR1, OB1, OB2, TP1, RP1, RP2) carry the richer
-specs (workload knobs, stages, invariance contracts).
+``DEFAULT_REGISTRY`` registers all twenty-two experiments; the eight
+campaign/engine scenarios (FC1, CR1, OB1, OB2, OB3, TP1, RP1, RP2) carry the
+richer specs (workload knobs, stages, invariance contracts).
 """
 
 from __future__ import annotations
@@ -269,6 +269,12 @@ def _default_specs() -> list[ScenarioSpec]:
                      workload={"n_plans": 100},
                      stages=("cost", "overhead"),
                      invariance={"cost": ("clean_reconstruction_zero_findings",)}),
+        ScenarioSpec("OB3", "extension — SLO error budgets + burn-rate alerting",
+                     "experiment_slo", "exp/ob3",
+                     workload={"n_plans": 24},
+                     stages=("perf",),
+                     invariance={"perf": (
+                         "sketch_merge_equivalent_and_alerts_deterministic",)}),
         ScenarioSpec("TP1", "extension — multi-tenant throughput engine",
                      "experiment_throughput", "exp/tp1",
                      stages=("perf", "perf-1000"),

@@ -69,6 +69,82 @@ class TestPrometheusText:
         assert prometheus_text(MetricsRegistry()) == ""
 
 
+class TestSketchExport:
+    def sketched_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry(clock=lambda: 1.0)
+        s = reg.sketch("session.latency", shard="0")
+        for v in (0.5, 1.0, 2.0, 30.0):
+            s.observe(v)
+        return reg
+
+    def test_prometheus_exports_sketch_as_summary(self):
+        lines = prometheus_text(self.sketched_registry()).splitlines()
+        assert "# TYPE session_latency summary" in lines
+        quantile_lines = [l for l in lines if 'quantile=' in l]
+        assert len(quantile_lines) == 3  # p50, p90, p99
+        assert all('shard="0"' in l for l in quantile_lines)
+        assert 'session_latency_count{shard="0"} 4' in lines
+        assert any(l.startswith('session_latency_sum{shard="0"} ') for l in lines)
+
+    def test_summary_table_headline(self):
+        text = summary_table(self.sketched_registry())
+        assert "sketch" in text
+        assert "n=4" in text and "p50=" in text and "p99=" in text
+
+    def test_metrics_jsonl_rows_round_trip(self):
+        from repro.obs.sketch import QuantileSketch
+
+        reg = self.sketched_registry()
+        (row,) = [json.loads(l) for l in metrics_jsonl(reg).splitlines()]
+        assert row["kind"] == "sketch"
+        clone = QuantileSketch.from_snapshot(row)
+        live = reg.sketch("session.latency", shard="0")
+        assert clone.quantile(0.99) == live.quantile(0.99)
+
+
+class TestExportDeterminism:
+    """Byte-identical exports regardless of instrument creation order
+    and label insertion order (ISSUE 8 satellite)."""
+
+    def populate(self, reg: MetricsRegistry, reverse: bool) -> MetricsRegistry:
+        def fills():
+            yield lambda: reg.counter("verdicts", outcome="ok", zone="a").inc(3)
+            yield lambda: reg.counter("verdicts", zone="a", outcome="bad").inc()
+            yield lambda: reg.gauge("slo.budget_remaining", slo="x").set(0.5)
+            yield lambda: reg.histogram("lat", buckets=(1.0,), zone="a").observe(0.4)
+            yield lambda: [reg.sketch("sk", shard=s).observe(v)
+                           for s, v in (("1", 2.0), ("0", 0.5))]
+        steps = list(fills())
+        for step in reversed(steps) if reverse else steps:
+            step()
+        return reg
+
+    def test_jsonl_and_prometheus_ignore_creation_order(self):
+        forward = self.populate(MetricsRegistry(clock=lambda: 2.0), reverse=False)
+        backward = self.populate(MetricsRegistry(clock=lambda: 2.0), reverse=True)
+        assert metrics_jsonl(forward) == metrics_jsonl(backward)
+        assert prometheus_text(forward) == prometheus_text(backward)
+        assert summary_table(forward) == summary_table(backward)
+
+    def test_slo_mirror_rows_are_deterministic(self):
+        from repro.obs.slo import CounterRatioSLI, SLOManager, SLOSpec
+
+        def run() -> MetricsRegistry:
+            reg = MetricsRegistry(clock=lambda: 3.0)
+            mgr = SLOManager(reg, clock=lambda: 3.0)
+            mgr.add(SLOSpec("avail", objective=0.9,
+                            sli=CounterRatioSLI(reg, "good", "bad")))
+            reg.counter("good").inc(9)
+            reg.counter("bad").inc(1)
+            mgr.poll()
+            return reg
+
+        first, second = run(), run()
+        assert metrics_jsonl(first) == metrics_jsonl(second)
+        assert prometheus_text(first) == prometheus_text(second)
+        assert "slo_burn_rate" in prometheus_text(first)
+
+
 class TestHumanRenderings:
     def test_summary_table_lists_every_instrument(self):
         text = summary_table(seeded_registry(), title="obs test")

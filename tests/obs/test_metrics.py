@@ -10,10 +10,12 @@ import pytest
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_METRICS,
+    CardinalityError,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.sketch import QuantileSketch
 
 
 class TestCounter:
@@ -150,9 +152,17 @@ class TestHistogramQuantile:
         qs = [h.quantile(q / 10) for q in range(11)]
         assert qs == sorted(qs)
 
-    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+    def test_overflow_bucket_reports_observed_max(self):
         h = Histogram("q", buckets=(1.0, 2.0))
         h.observe(100.0)  # lands in +Inf
+        assert h.quantile(0.99) == 100.0
+
+    def test_overflow_without_recorded_max_keeps_old_clamp(self):
+        # A histogram rebuilt positionally from a snapshot (the anomaly
+        # detectors do this) carries no min/max; its +Inf ranks fall
+        # back to the pre-min/max behaviour: the last finite bound.
+        h = Histogram("q", (1.0, 2.0), (), [0, 0, 1], 1, 100.0)
+        assert h.max is None
         assert h.quantile(0.99) == 2.0
 
     def test_invalid_q_rejected(self):
@@ -165,3 +175,106 @@ class TestHistogramQuantile:
         # p50 <= p99 always, by monotonicity.
         h = self._hist()
         assert h.quantile(0.50) <= h.quantile(0.99)
+
+
+class TestHistogramMinMax:
+    def test_none_until_first_observation(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.min is None and h.max is None
+
+    def test_tracks_extremes(self):
+        h = Histogram("h", buckets=(1.0, 5.0))
+        for v in (3.0, 0.25, 9.0, 1.0):
+            h.observe(v)
+        assert h.min == 0.25
+        assert h.max == 9.0
+
+    def test_snapshot_carries_min_max_additively(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        (row,) = reg.snapshot()
+        # The pre-existing schema is intact...
+        assert {"kind", "name", "labels", "buckets", "bucket_counts",
+                "count", "sum", "at"} <= set(row)
+        # ...and the new keys ride alongside.
+        assert row["min"] == 0.5 and row["max"] == 0.5
+
+
+class TestCardinalityGuard:
+    def test_no_budget_means_unlimited(self):
+        reg = MetricsRegistry()
+        for i in range(100):
+            reg.counter("free", tenant=str(i)).inc()
+        assert len(reg) == 100
+
+    def test_raise_mode_rejects_series_past_budget(self):
+        reg = MetricsRegistry(label_budget=2)
+        reg.counter("c", t="a").inc()
+        reg.counter("c", t="b").inc()
+        with pytest.raises(CardinalityError):
+            reg.counter("c", t="fresh")
+
+    def test_known_series_stay_reachable_past_budget(self):
+        reg = MetricsRegistry(label_budget=1)
+        reg.counter("c", t="a").inc(3)
+        assert reg.counter("c", t="a").value == 3  # re-lookup, no raise
+
+    def test_budget_is_per_name(self):
+        reg = MetricsRegistry(label_budget=1)
+        reg.counter("one", t="a").inc()
+        reg.counter("two", t="a").inc()  # fresh name, fresh budget
+        with pytest.raises(CardinalityError):
+            reg.counter("one", t="b")
+
+    def test_drop_mode_folds_into_overflow_and_counts(self):
+        reg = MetricsRegistry(label_budget=1, budget_mode="drop")
+        reg.counter("c", t="a").inc()
+        reg.counter("c", t="b").inc()
+        reg.counter("c", t="d").inc(2)
+        assert reg.counter("c", overflow="true").value == 3
+        assert reg.counter("metrics_dropped_labels").value == 2
+        assert reg.counter("c", t="a").value == 1  # admitted series intact
+
+    def test_guard_covers_every_instrument_kind(self):
+        reg = MetricsRegistry(label_budget=1)
+        reg.gauge("g", t="a").set(1)
+        reg.histogram("h", (1.0,), t="a").observe(0.5)
+        reg.sketch("s", t="a").observe(0.5)
+        for blocked in (lambda: reg.gauge("g", t="b"),
+                        lambda: reg.histogram("h", (1.0,), t="b"),
+                        lambda: reg.sketch("s", t="b")):
+            with pytest.raises(CardinalityError):
+                blocked()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(budget_mode="explode")
+        with pytest.raises(ValueError):
+            MetricsRegistry(label_budget=0)
+
+
+class TestSketchInstrument:
+    def test_get_or_create_and_kind_claim(self):
+        reg = MetricsRegistry()
+        s = reg.sketch("lat", shard="1")
+        assert s is reg.sketch("lat", shard="1")
+        assert isinstance(s, QuantileSketch)
+        with pytest.raises(TypeError):
+            reg.counter("lat")
+
+    def test_snapshot_rows_are_tagged_and_stamped(self):
+        reg = MetricsRegistry(clock=lambda: 4.5)
+        reg.sketch("lat").observe(1.0)
+        (row,) = reg.snapshot()
+        assert row["kind"] == "sketch"
+        assert row["at"] == 4.5
+        assert row["count"] == 1
+        assert len(reg) == 1
+
+    def test_null_registry_sketch_is_shared_noop(self):
+        a = NULL_METRICS.sketch("x")
+        b = NULL_METRICS.sketch("y", shard="2")
+        assert a is b
+        a.observe(123.0)
+        assert a.count == 0
+        assert len(NULL_METRICS) == 0

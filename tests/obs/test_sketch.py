@@ -1,0 +1,242 @@
+"""Quantile sketches: accuracy bound, exact merge, windowed aggregation.
+
+Acceptance bar (ISSUE 8 tentpole): a deterministic DDSketch-style
+sketch whose per-shard instances merge *exactly* (bucket maps, counts,
+min/max identical; merged quantiles equal the global ones), plus a
+tumbling-window aggregator with bounded retention and a
+label-cardinality budget.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    QuantileSketch,
+    SketchAggregator,
+    WindowSnapshot,
+)
+
+
+def spread_values(n: int = 500) -> list[float]:
+    """A deterministic multi-decade sample: sub-ms to tens of seconds."""
+    return [0.0003 * (1.13 ** (i % 97)) + (i % 7) * 0.011 for i in range(n)]
+
+
+class TestSketchBasics:
+    def test_empty_sketch(self):
+        s = QuantileSketch("lat")
+        assert s.count == 0
+        assert s.quantile(0.5) == 0.0
+        assert s.min is None and s.max is None
+
+    def test_counts_sum_min_max(self):
+        s = QuantileSketch("lat")
+        for v in (2.0, 0.5, 8.0):
+            s.observe(v)
+        assert s.count == 3
+        assert s.sum == pytest.approx(10.5)
+        assert s.min == 0.5 and s.max == 8.0
+        assert s.mean == pytest.approx(3.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("lat").observe(-0.1)
+
+    def test_invalid_alpha_rejected(self):
+        for alpha in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                QuantileSketch("lat", alpha=alpha)
+
+    def test_zeros_and_subtrackable_land_in_zero_bucket(self):
+        s = QuantileSketch("lat")
+        s.observe(0.0)
+        s.observe(1e-12)
+        assert s.zero_count == 2
+        assert s.count == 2
+        assert not s.buckets
+        assert s.quantile(0.5) == 0.0  # min is the exact answer
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("lat").quantile(1.5)
+
+
+class TestAccuracyBound:
+    def test_quantiles_within_alpha_of_a_neighbour_rank(self):
+        values = spread_values()
+        s = QuantileSketch("lat")
+        for v in values:
+            s.observe(v)
+        sv = sorted(values)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            est = s.quantile(q)
+            # The sketch targets the floor-rank sample; accept any
+            # neighbour rank so this asserts the alpha bound, not the
+            # tie-breaking convention at rank boundaries.
+            i = int(q * (len(sv) - 1))
+            assert any(
+                abs(est - sv[j]) <= s.alpha * sv[j] + 1e-9
+                for j in (max(i - 1, 0), i, min(i + 1, len(sv) - 1))
+            ), f"q={q}: {est} vs {sv[i]}"
+
+    def test_extremes_are_exact(self):
+        s = QuantileSketch("lat")
+        for v in spread_values(100):
+            s.observe(v)
+        assert s.quantile(0.0) == s.min
+        assert s.quantile(1.0) == s.max
+
+    def test_monotone_in_q(self):
+        s = QuantileSketch("lat")
+        for v in spread_values(200):
+            s.observe(v)
+        qs = [s.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_count_le_respects_error_bound(self):
+        s = QuantileSketch("lat")
+        values = spread_values(300)
+        for v in values:
+            s.observe(v)
+        threshold = sorted(values)[150]
+        got = s.count_le(threshold)
+        lo = sum(1 for v in values if v <= threshold * (1 - s.alpha))
+        hi = sum(1 for v in values if v <= threshold * (1 + s.alpha))
+        assert lo <= got <= hi
+        assert s.count_le(-1.0) == 0
+
+
+class TestExactMerge:
+    def shard(self, values, shards=4):
+        out = [QuantileSketch("lat") for _ in range(shards)]
+        for i, v in enumerate(values):
+            out[i % shards].observe(v)
+        return out
+
+    def test_merge_equals_global_build(self):
+        values = spread_values()
+        global_sketch = QuantileSketch("lat")
+        for v in values:
+            global_sketch.observe(v)
+        merged = QuantileSketch.merged("lat", self.shard(values))
+        assert merged.buckets == global_sketch.buckets
+        assert merged.count == global_sketch.count
+        assert merged.zero_count == global_sketch.zero_count
+        assert merged.min == global_sketch.min
+        assert merged.max == global_sketch.max
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert merged.quantile(q) == global_sketch.quantile(q)
+
+    def test_merge_is_in_place_and_returns_self(self):
+        a, b = QuantileSketch("x"), QuantileSketch("x")
+        a.observe(1.0)
+        b.observe(2.0)
+        assert a.merge(b) is a
+        assert a.count == 2
+        assert a.max == 2.0
+
+    def test_mismatched_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("x", alpha=0.01).merge(QuantileSketch("x", alpha=0.02))
+
+    def test_merging_empty_shards(self):
+        merged = QuantileSketch.merged("x", [QuantileSketch("x"), QuantileSketch("x")])
+        assert merged.count == 0
+        assert QuantileSketch.merged("x", []).count == 0
+
+
+class TestSnapshotRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        s = QuantileSketch("lat", labels=(("shard", "3"),))
+        for v in spread_values(100):
+            s.observe(v)
+        s.observe(0.0)
+        clone = QuantileSketch.from_snapshot(s.snapshot())
+        assert clone.buckets == s.buckets
+        assert clone.zero_count == s.zero_count
+        assert clone.count == s.count
+        assert clone.min == s.min and clone.max == s.max
+        assert clone.labels == s.labels
+        for q in (0.5, 0.99):
+            assert clone.quantile(q) == s.quantile(q)
+
+    def test_snapshot_is_json_safe_and_bucket_order_sorted(self):
+        s = QuantileSketch("lat")
+        for v in (5.0, 0.01, 1.0):
+            s.observe(v)
+        row = s.snapshot()
+        json.dumps(row)  # must not raise
+        indices = [i for i, _ in row["buckets"]]
+        assert indices == sorted(indices)
+
+
+class TestAggregator:
+    def test_windows_tumble_on_sim_time(self):
+        agg = SketchAggregator(width=5.0)
+        agg.observe(1.0, "lat", 0.5)
+        agg.observe(4.9, "lat", 0.7)
+        agg.observe(5.0, "lat", 0.9)  # crosses the boundary
+        assert len(agg.windows) == 1
+        window = agg.windows[0]
+        assert isinstance(window, WindowSnapshot)
+        assert (window.start, window.end) == (0.0, 5.0)
+        assert agg.rollup("lat", window_start=0.0).count == 2
+
+    def test_skipped_windows_never_materialize(self):
+        agg = SketchAggregator(width=5.0)
+        agg.observe(1.0, "lat", 0.5)
+        agg.observe(52.5, "lat", 0.7)  # ten empty windows in between
+        agg.flush(60.0)
+        assert [w.start for w in agg.windows] == [0.0, 50.0]
+
+    def test_retention_bound_drops_oldest(self):
+        agg = SketchAggregator(width=1.0, retain=3)
+        for i in range(8):
+            agg.observe(float(i), "lat", 0.5)
+        agg.flush(8.0)
+        assert len(agg.windows) == 3
+        assert [w.start for w in agg.windows] == [5.0, 6.0, 7.0]
+
+    def test_rollup_merges_closed_and_live(self):
+        agg = SketchAggregator(width=5.0)
+        values = spread_values(60)
+        for i, v in enumerate(values):
+            agg.observe(i * 0.5, "lat", v, tenant=f"t{i % 3}")
+        rolled = agg.rollup("lat")
+        reference = QuantileSketch("lat")
+        for v in values:
+            reference.observe(v)
+        assert rolled.buckets == reference.buckets
+        assert rolled.count == len(values)
+        assert agg.series_count("lat") == 3
+
+    def test_label_budget_folds_into_overflow(self):
+        agg = SketchAggregator(width=5.0, budget=2)
+        for i in range(6):
+            agg.observe(0.5, "lat", 1.0, tenant=f"t{i}")
+        assert agg.dropped_labels == 4
+        assert agg.series_count("lat") == 2
+        overflow = [
+            s for (name, labels), s in agg._live.items()
+            if name == "lat" and labels == SketchAggregator.OVERFLOW]
+        assert overflow and overflow[0].count == 4
+        assert agg.rollup("lat").count == 6  # nothing lost, only folded
+
+    def test_invalid_configuration_rejected(self):
+        for kwargs in ({"width": 0.0}, {"retain": 0}, {"budget": 0}):
+            with pytest.raises(ValueError):
+                SketchAggregator(**kwargs)
+
+    def test_same_inputs_same_aggregation(self):
+        def build():
+            agg = SketchAggregator(width=2.0)
+            for i, v in enumerate(spread_values(80)):
+                agg.observe(i * 0.1, "lat", v, shard=str(i % 4))
+            agg.flush(8.0)
+            return agg
+        a, b = build(), build()
+        assert [w.start for w in a.windows] == [w.start for w in b.windows]
+        assert a.rollup("lat").buckets == b.rollup("lat").buckets
+        assert DEFAULT_ALPHA == a.alpha

@@ -22,7 +22,7 @@ def test_all_cli_experiments_are_registered():
     from repro.cli import EXPERIMENTS
 
     assert set(EXPERIMENTS) == set(SCENARIOS.ids())
-    assert len(SCENARIOS) == 21
+    assert len(SCENARIOS) == 22
 
 
 @pytest.mark.parametrize("scenario_id,root,workload,stages", [
@@ -30,6 +30,7 @@ def test_all_cli_experiments_are_registered():
     ("CR1", "exp/cr1", {"n_plans": 100}, ()),
     ("OB1", "exp/ob1", {}, ("overhead",)),
     ("OB2", "exp/ob2", {"n_plans": 100}, ("cost", "overhead")),
+    ("OB3", "exp/ob3", {"n_plans": 24}, ("perf",)),
     ("TP1", "exp/tp1", {}, ("perf", "perf-1000")),
     ("RP1", "exp/rp1", {"n_plans": 60}, ("perf",)),
     ("RP2", "exp/rp2", {}, ()),
@@ -48,6 +49,8 @@ def test_invariance_contracts_are_declared():
         "clean_reconstruction_zero_findings",)
     assert SCENARIOS.get("RP1").spec.checks_for("perf") == (
         "all_faults_masked_or_detected",)
+    assert SCENARIOS.get("OB3").spec.checks_for("perf") == (
+        "sketch_merge_equivalent_and_alerts_deterministic",)
     assert SCENARIOS.get("TP1").spec.checks_for("perf-1000") == ()
 
 
