@@ -445,6 +445,16 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     """Sweep the session engine and compare against the baseline."""
     from .engine import TenantDirectory, run_baseline, run_pool
 
+    shards = args.shards
+    batch_size = args.batch_size
+    if shards < 1:
+        print(f"repro throughput: --shards must be >= 1 (got {shards})",
+              file=sys.stderr)
+        return 2
+    if batch_size is not None and batch_size < 1:
+        print(f"repro throughput: --batch-size must be >= 1 (got {batch_size})",
+              file=sys.stderr)
+        return 2
     seed = args.seed.encode()
     tenant_counts = tuple(args.tenants)
     use_caches = not args.no_caches
@@ -453,21 +463,25 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     rows = []
     all_ok = True
     for n in tenant_counts:
-        result = run_pool(seed, n, directory=directory, use_caches=use_caches)
+        result = run_pool(seed, n, directory=directory, use_caches=use_caches,
+                          shards=shards, batch_size=batch_size)
         stats = result.cache_stats or {}
         verify = stats.get("verify", {})
         all_ok = all_ok and result.completed == result.verified == len(result.sessions)
+        batches = (result.batch_stats or {}).get("batches", 0)
         rows.append([
             n, result.completed, result.verified,
             f"{result.tx_per_sec:.1f}",
             f"{result.p50_latency:.4f}", f"{result.p99_latency:.4f}",
             f"{float(verify.get('hit_rate', 0.0)):.3f}",
+            batches,
         ])
     print(render_table(
         ["tenants", "completed", "verified", "tx/sec (wall)",
-         "p50 (sim s)", "p99 (sim s)", "verify-cache hit rate"],
+         "p50 (sim s)", "p99 (sim s)", "verify-cache hit rate", "batches"],
         rows,
         title=f"Throughput sweep (caches {'on' if use_caches else 'off'}, "
+        f"shards={shards}, batch={batch_size if batch_size else 'off'}, "
         f"seed={args.seed!r})",
     ))
     if args.baseline > 0:
@@ -566,6 +580,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sequential-baseline transaction count (0 to skip)")
     p_t.add_argument("--no-caches", action="store_true",
                      help="disable the crypto caches (signature/KEM)")
+    p_t.add_argument("--shards", type=int, default=1,
+                     help="engine worker shards (>= 1; merged result is "
+                     "signature-identical at any count)")
+    p_t.add_argument("--batch-size", type=int, default=None,
+                     help="Merkle-batch evidence: leaves per RSA signature "
+                     "(>= 1; omit for classic per-message signatures)")
     p_t.add_argument("--seed", default="cli", help="determinism seed")
     p_t.set_defaults(func=_cmd_throughput)
 

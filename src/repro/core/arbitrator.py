@@ -60,10 +60,19 @@ class Ruling:
 
 
 class Arbitrator:
-    """Stateless evidence judge."""
+    """Stateless evidence judge.
 
-    def __init__(self, registry: KeyRegistry) -> None:
+    *ledger* (optional) is the deployment's published batch-commitment
+    log: it lets the arbitrator resolve inclusion proofs for batched
+    evidence whose proof was not attached at submission time.  Batched
+    items verify through the same :func:`verify_opened_evidence` door
+    as classic two-signature evidence — an item whose inclusion proof
+    fails is rejected even when its batch signature is fine.
+    """
+
+    def __init__(self, registry: KeyRegistry, ledger=None) -> None:
         self.registry = registry
+        self.ledger = ledger
         self.rulings: list[Ruling] = []
 
     # -- helpers ---------------------------------------------------------------
@@ -79,7 +88,7 @@ class Arbitrator:
             if item.header.transaction_id != transaction_id:
                 rejected += 1
                 continue
-            if not verify_opened_evidence(item, self.registry):
+            if not verify_opened_evidence(item, self.registry, self.ledger):
                 rejected += 1
                 continue
             admitted.append(item)

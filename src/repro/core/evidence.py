@@ -21,6 +21,17 @@ two signatures do different work:
 
 :class:`OpenedEvidence` is what a recipient stores after decrypting and
 verifying — exactly the object later handed to the Arbitrator.
+
+**Batched evidence** (:class:`BatchedEvidence`) is the amortized form:
+instead of two RSA signatures per message, the sender commits the
+message's *evidence leaf* (a domain-separated digest binding signer +
+header, hence transaction ID, sequence, nonce, time limit, and data
+hash) into a Merkle batch and signs only the batch root
+(:mod:`repro.crypto.batch`).  The recipient recomputes the leaf from
+the header it independently validated, and the item is proven by its
+inclusion proof against the one signed root — the same unforgeability
+argument as per-message signatures (the signer cannot deny a leaf
+under a root it signed), at ``1/K`` of the signing cost.
 """
 
 from __future__ import annotations
@@ -29,15 +40,40 @@ import struct
 from dataclasses import dataclass
 
 from ..crypto import kem, rsa
+from ..crypto.batch import BatchLedger, BatchProof, verify_batch_proof
 from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import digest
 from ..crypto.pki import Identity, KeyRegistry
 from ..errors import EvidenceError
 from .messages import Header
 
-__all__ = ["OpenedEvidence", "build_evidence", "open_evidence", "verify_opened_evidence"]
+__all__ = [
+    "OpenedEvidence",
+    "BatchedEvidence",
+    "build_batched_evidence",
+    "build_evidence",
+    "evidence_leaf",
+    "open_evidence",
+    "verify_opened_evidence",
+]
 
 _DOMAIN_DATA = b"tpnr-evidence-data|"
 _DOMAIN_HEADER = b"tpnr-evidence-header|"
+_DOMAIN_LEAF = b"tpnr-evidence-leaf|"
+
+
+def evidence_leaf(signer_name: str, header: Header) -> bytes:
+    """The canonical digest a batched signer commits for *header*.
+
+    Binds the signer name and the full signed header encoding (and
+    through ``data_hash`` the payload bytes), so a leaf proven under a
+    signed batch root carries the same commitments as the two
+    per-message signatures it replaces.
+    """
+    return digest(
+        "sha256",
+        _DOMAIN_LEAF + signer_name.encode("utf-8") + b"|" + header.to_signed_bytes(),
+    )
 
 
 @dataclass(frozen=True)
@@ -60,6 +96,32 @@ class OpenedEvidence:
             + len(self.signature_over_data_hash)
             + len(self.signature_over_header)
         )
+
+
+@dataclass(frozen=True)
+class BatchedEvidence(OpenedEvidence):
+    """Evidence whose authenticity rests on a batch inclusion proof.
+
+    Carries the recomputed *leaf* instead of per-message signatures
+    (both signature fields are empty).  ``proof`` starts ``None`` —
+    *pending* — until the signer seals the covering batch and
+    settlement attaches the :class:`~repro.crypto.batch.BatchProof`;
+    only then does :func:`verify_opened_evidence` accept it.
+    """
+
+    leaf: bytes = b""
+    proof: BatchProof | None = None
+
+    @property
+    def pending(self) -> bool:
+        return self.proof is None
+
+    def resolve(self, proof: BatchProof) -> None:
+        """Attach the inclusion proof once the covering batch seals."""
+        object.__setattr__(self, "proof", proof)
+
+    def wire_size(self) -> int:
+        return self.header.wire_size() + len(self.leaf)
 
 
 def _pack(sig_data: bytes, sig_header: bytes) -> bytes:
@@ -101,6 +163,20 @@ def build_evidence(
     )
 
 
+def build_batched_evidence(sender: Identity, header: Header, batcher) -> bytes:
+    """Commit *header*'s leaf into the sender's batch and return the
+    wire blob (``BATCH`` framing + the 32-byte leaf — fixed length, so
+    wire accounting is independent of batch layout).
+
+    The blob itself carries no signature; authenticity arrives when the
+    batch seals and the recipient resolves the inclusion proof against
+    the one signed root.
+    """
+    leaf = evidence_leaf(sender.name, header)
+    batcher.add(leaf)
+    return b"BATCH" + leaf
+
+
 def open_evidence(
     recipient: Identity,
     sender_public: rsa.RsaPublicKey,
@@ -115,6 +191,23 @@ def open_evidence(
     header — "the peers should check the consistency between the hash
     of the plaintext and the plaintext at first".
     """
+    if blob[:5] == b"BATCH":
+        # Batched framing: the blob is the sender's committed leaf.  We
+        # recompute the leaf from the header we independently validated
+        # — a mismatch means the blob commits to *different* header
+        # bytes than the ones on the wire, and is rejected here exactly
+        # like a bad header signature on the classic path.
+        claimed = blob[5:]
+        expected = evidence_leaf(sender_name, header)
+        if claimed != expected:
+            raise EvidenceError("batched evidence leaf does not match header")
+        return BatchedEvidence(
+            header=header,
+            signature_over_data_hash=b"",
+            signature_over_header=b"",
+            signer=sender_name,
+            leaf=expected,
+        )
     if blob[:5] == b"PLAIN":
         packed = blob[5:]
     elif blob[:5] == b"ENC--":
@@ -137,17 +230,39 @@ def open_evidence(
     )
 
 
-def verify_opened_evidence(evidence: OpenedEvidence, registry: KeyRegistry) -> bool:
+def verify_opened_evidence(
+    evidence: OpenedEvidence,
+    registry: KeyRegistry,
+    ledger: BatchLedger | None = None,
+) -> bool:
     """Re-verify stored evidence from public information only.
 
     This is the Arbitrator's check: given the claimed signer's
     registered public key, do both signatures hold for the header the
     evidence carries?
+
+    Batched evidence verifies differently but equivalently: the leaf
+    must be the canonical digest of (signer, header), the inclusion
+    proof must tie that leaf to a batch root, and the root's one
+    signature must verify under the signer's key.  A *pending* item
+    (no proof attached and none found on the optional *ledger*) is
+    NOT valid — unsettled evidence proves nothing.
     """
     try:
         public = registry.lookup(evidence.signer)
     except Exception:
         return False
+    if isinstance(evidence, BatchedEvidence):
+        if evidence.leaf != evidence_leaf(evidence.signer, evidence.header):
+            return False
+        proof = evidence.proof
+        if proof is None and ledger is not None:
+            proof = ledger.proof_for(evidence.signer, evidence.leaf)
+        if proof is None or proof.signer != evidence.signer:
+            return False
+        if proof.leaf != evidence.leaf:
+            return False
+        return verify_batch_proof(public, proof)
     if not rsa.verify(public, _DOMAIN_DATA + evidence.header.data_hash,
                       evidence.signature_over_data_hash):
         return False

@@ -38,7 +38,14 @@ from ..errors import ProtocolError, ReplayError
 from ..net.events import ScheduledEvent
 from ..net.network import Envelope
 from ..net.node import Node
-from .evidence import OpenedEvidence, build_evidence, open_evidence
+from .evidence import (
+    BatchedEvidence,
+    OpenedEvidence,
+    build_batched_evidence,
+    build_evidence,
+    open_evidence,
+    verify_opened_evidence,
+)
 from .messages import Flag, Header, TpnrMessage
 from .policy import DEFAULT_POLICY, TpnrPolicy
 from .transaction import EvidenceStore, PeerState, TransactionRecord
@@ -99,6 +106,60 @@ class TpnrParty(Node):
         # throughput engine chains follow-up work (downloads, latency
         # accounting) from here without polling the simulator.
         self.on_txn_terminal: Callable[[TransactionRecord], None] | None = None
+        # Batched-evidence seats (None until configure_batching): the
+        # shared ledger lets this party *resolve* inclusion proofs for
+        # batched evidence it receives; the batcher (emitters only)
+        # accumulates this party's own outbound evidence leaves.
+        self.batch_ledger = None  # crypto.batch.BatchLedger | None
+        self.batcher = None  # crypto.batch.EvidenceBatcher | None
+        self._pending_batched: list[BatchedEvidence] = []
+        self.batched_failures: list[BatchedEvidence] = []
+
+    # -- batched evidence ----------------------------------------------------
+
+    def configure_batching(self, ledger, batcher=None) -> None:
+        """Join a batched-evidence world: *ledger* for resolving proofs
+        on received items; *batcher* (emitters only) for committing own
+        outbound evidence leaves."""
+        self.batch_ledger = ledger
+        self.batcher = batcher
+
+    def _resolve_batched(self, opened: BatchedEvidence) -> str:
+        """Try to resolve *opened*'s inclusion proof from the ledger.
+
+        Returns ``"verified"`` (proof found and valid), ``"pending"``
+        (covering batch not sealed yet — settle later), or
+        ``"invalid"`` (a proof exists but does not verify: the item was
+        tampered relative to what the signer committed).
+        """
+        if self.batch_ledger is None:
+            return "pending"
+        proof = self.batch_ledger.proof_for(opened.signer, opened.leaf)
+        if proof is None:
+            return "pending"
+        opened.resolve(proof)
+        if verify_opened_evidence(opened, self.registry):
+            return "verified"
+        return "invalid"
+
+    def settle_batched_evidence(self) -> tuple[int, int]:
+        """Resolve every pending batched item (end-of-run, after all
+        signers sealed).  Returns ``(resolved, failed)``; failures —
+        items whose batch never sealed or whose proof does not verify —
+        land in :attr:`batched_failures`, never silently accepted.
+        """
+        resolved = failed = 0
+        pending, self._pending_batched = self._pending_batched, []
+        for opened in pending:
+            if self._resolve_batched(opened) == "verified":
+                resolved += 1
+            else:
+                failed += 1
+                self.batched_failures.append(opened)
+                self.reject("batched-evidence",
+                            f"unsettled or invalid inclusion proof "
+                            f"(txn {opened.header.transaction_id})")
+        return resolved, failed
 
     # -- durability ----------------------------------------------------------
 
@@ -143,7 +204,23 @@ class TpnrParty(Node):
         The WAL append precedes the store insert: once the in-memory
         archive holds it, the protocol may act on it (issue receipts,
         finish transactions), so it must already be durable.
+
+        Batched evidence resolves its inclusion proof here if the
+        covering batch has already sealed; an **invalid** proof (batch
+        signature fine, item not under the root) is rejected outright —
+        never archived, never silently accepted.  A still-pending item
+        is archived and queued for :meth:`settle_batched_evidence`.
         """
+        if isinstance(opened, BatchedEvidence) and opened.pending:
+            status = self._resolve_batched(opened)
+            if status == "invalid":
+                self.reject("batched-evidence",
+                            f"inclusion proof invalid "
+                            f"(txn {opened.header.transaction_id})")
+                self.batched_failures.append(opened)
+                return False
+            if status == "pending" and not self.evidence_store.holds(opened):
+                self._pending_batched.append(opened)
         if self.journal is not None and not self.evidence_store.holds(opened):
             self.journal.log_evidence(opened)
         added = self.evidence_store.add(opened)
@@ -217,6 +294,7 @@ class TpnrParty(Node):
             self.journal.crash()
         self.transactions = {}
         self._peers = {}
+        self._pending_batched = []
         duplicates = self.evidence_store.duplicates_suppressed
         self.evidence_store = EvidenceStore(self.name)
         self.evidence_store.duplicates_suppressed = duplicates
@@ -307,14 +385,19 @@ class TpnrParty(Node):
     ) -> TpnrMessage:
         """Attach evidence (encrypted to *evidence_recipient*, default
         the header's recipient) and assemble the wire message."""
-        target = evidence_recipient or header.recipient_id
-        blob = build_evidence(
-            self.identity,
-            self.registry.lookup(target),
-            header,
-            self.rng,
-            encrypt=self.policy.encrypt_evidence,
-        )
+        if self.batcher is not None:
+            # Batched mode: commit the evidence leaf instead of signing
+            # per message — the wire carries the fixed-size leaf blob.
+            blob = build_batched_evidence(self.identity, header, self.batcher)
+        else:
+            target = evidence_recipient or header.recipient_id
+            blob = build_evidence(
+                self.identity,
+                self.registry.lookup(target),
+                header,
+                self.rng,
+                encrypt=self.policy.encrypt_evidence,
+            )
         return TpnrMessage(header=header, data=data, evidence=blob, annotations=annotations)
 
     # -- inbound ----------------------------------------------------------------

@@ -54,6 +54,7 @@ class Deployment:
     stable: object | None = None  # StableStore when built with durable=True
     obs: Observability = NULL_OBS  # live when built with observe=True
     replication: object | None = None  # ReplicatedStore when attached
+    ledger: object | None = None  # BatchLedger when built with batch_size
 
     def run(self, until: float | None = None) -> None:
         self.network.sim.run(until)
@@ -63,6 +64,47 @@ class Deployment:
         if name == self.client.name:
             return self.client
         return self.extra_clients[name]
+
+    def parties(self):
+        return (self.client, self.provider, self.ttp, *self.extra_clients.values())
+
+    def settle_batches(self, strict: bool = True) -> dict:
+        """End-of-run batched-evidence settlement.
+
+        Seals every emitter's partial batch, then resolves each party's
+        pending batched evidence against the ledger.  Returns
+        ``{"resolved": n, "failed": n, "batches": n}``.  With *strict*
+        (the default) any failure — an item whose covering batch never
+        sealed or whose inclusion proof does not verify — raises
+        :class:`~repro.errors.EvidenceError`: unsettled evidence must
+        never pass silently.  ``strict=False`` is for dispute flows
+        that want to convict from the failures instead.
+        """
+        if self.ledger is None:
+            return {"resolved": 0, "failed": 0, "batches": 0}
+        from ..errors import EvidenceError
+
+        for party in self.parties():
+            if party.batcher is not None:
+                party.batcher.seal()
+        resolved = failed = 0
+        for party in self.parties():
+            got, bad = party.settle_batched_evidence()
+            resolved += got
+            failed += bad
+        if strict and failed:
+            losers = [
+                (p.name, e.header.transaction_id)
+                for p in self.parties() for e in p.batched_failures
+            ]
+            raise EvidenceError(
+                f"{failed} batched evidence item(s) failed settlement: {losers}"
+            )
+        return {
+            "resolved": resolved,
+            "failed": failed,
+            "batches": len(self.ledger.batches),
+        }
 
     # -- forensics -----------------------------------------------------------
     # Imported lazily: repro.obs.forensics reaches back into core for
@@ -127,6 +169,7 @@ def make_deployment(
     snapshot_interval: int = 48,
     observe: bool = False,
     identities: "dict[str, Identity] | None" = None,
+    batch_size: int | None = None,
 ) -> Deployment:
     """Build a client + provider + TTP + arbitrator world.
 
@@ -153,6 +196,14 @@ def make_deployment(
     seated on the network; every node reports through it, and it is
     exposed as ``Deployment.obs``.  Off by default: the seat then holds
     the shared no-op and instrumented code costs one branch.
+
+    *batch_size* switches evidence to the Merkle-batched form: every
+    party commits evidence leaves into per-signer batches of that size
+    (one RSA signature per batch) published on a shared
+    :class:`~repro.crypto.batch.BatchLedger` (``Deployment.ledger``);
+    call :meth:`Deployment.settle_batches` after driving the run.
+    ``None`` (the default) keeps the classic two-signatures-per-message
+    evidence — byte-identical to previous releases.
     """
     rng = HmacDrbg(seed)
     sim = Simulator()
@@ -181,6 +232,15 @@ def make_deployment(
         identity.name: TpnrClient(identity, registry, rng, ttp_name=ttp_name, policy=policy)
         for identity in extra_ids
     }
+    ledger = None
+    if batch_size is not None:
+        from ..crypto.batch import BatchLedger, EvidenceBatcher
+
+        ledger = BatchLedger()
+        for party in (client, provider, ttp, *extra_clients.values()):
+            party.configure_batching(
+                ledger, EvidenceBatcher(party.identity, batch_size, ledger)
+            )
     for node in (client, provider, ttp, *extra_clients.values()):
         network.add_node(node)
     if topology is not None:
@@ -212,10 +272,11 @@ def make_deployment(
         client=client,
         provider=provider,
         ttp=ttp,
-        arbitrator=Arbitrator(registry),
+        arbitrator=Arbitrator(registry, ledger=ledger),
         extra_clients=extra_clients,
         stable=stable,
         obs=network.obs,
+        ledger=ledger,
     )
 
 

@@ -1,0 +1,39 @@
+"""Canonical float normalization for signatures and run keys.
+
+Every float that reaches a content hash — a :meth:`PoolResult.signature`
+row, a scenario ``run_key`` — must be normalized through ONE helper so
+that two code paths computing the same quantity can never drift on
+float repr.  Two drift classes this guards against:
+
+* **precision noise**: ``0.1 + 0.2`` vs ``0.3`` differ in the last
+  ulps; rounding to 9 decimal places (far finer than any simulated
+  time step or measured duration this repo hashes) collapses them;
+* **signed zero**: ``repr(-0.0)`` is ``'-0.0'`` while ``repr(0.0)`` is
+  ``'0.0'`` — adding ``0.0`` after rounding normalizes the sign, since
+  ``-0.0 + 0.0 == 0.0`` under IEEE 754 round-to-nearest.
+
+Kept dependency-free on purpose: both the engine and the scenario
+control plane import it, and neither may import the other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CANON_FLOAT_DECIMALS", "canon_float"]
+
+#: Rounding precision (decimal places) for hashed floats.  Nanosecond
+#: resolution on simulated seconds — orders of magnitude finer than the
+#: millisecond-scale timings being protected, coarse enough to absorb
+#: accumulation-order noise.
+CANON_FLOAT_DECIMALS = 9
+
+
+def canon_float(value: float) -> float:
+    """The canonical representative of *value* for hashing.
+
+    Rounds to :data:`CANON_FLOAT_DECIMALS` places and normalizes
+    ``-0.0`` to ``0.0``.  Non-finite values pass through unchanged
+    (``repr`` of ``inf``/``nan`` is already stable).
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        return value
+    return round(value, CANON_FLOAT_DECIMALS) + 0.0

@@ -6,17 +6,25 @@ concurrent client/provider TPNR sessions over one simulated network,
 deterministically (per-tenant named DRBG streams, explicit transaction
 IDs), while the opt-in :mod:`repro.crypto.cache` bundle removes
 repeated modular exponentiation from the hot path.
-:mod:`repro.engine.throughput` sweeps tenant counts and compares
-against the uncached one-world-per-transaction baseline.
+:class:`~repro.engine.sharding.ShardedSessionPool` partitions the
+tenant population across N worker shards by seed-keyed HMAC and merges
+the per-shard results back into one :class:`~repro.engine.pool.PoolResult`
+whose ``signature()`` is bit-identical at any shard count;
+:mod:`repro.engine.throughput` sweeps tenant and shard counts and
+compares against the uncached one-world-per-transaction baseline.
 """
 
 from .pool import EngineConfig, PoolResult, SessionPool, SessionRecord, TenantDirectory
+from .sharding import ShardedSessionPool, merge_pool_results, shard_of, shard_plan
 from .throughput import (
     BaselineSample,
+    ShardedReport,
+    ShardedSample,
     ThroughputReport,
     ThroughputSample,
     run_baseline,
     run_pool,
+    run_sharded_throughput,
     run_throughput,
 )
 
@@ -26,10 +34,17 @@ __all__ = [
     "SessionPool",
     "SessionRecord",
     "TenantDirectory",
+    "ShardedSessionPool",
+    "merge_pool_results",
+    "shard_of",
+    "shard_plan",
     "BaselineSample",
+    "ShardedReport",
+    "ShardedSample",
     "ThroughputReport",
     "ThroughputSample",
     "run_baseline",
     "run_pool",
+    "run_sharded_throughput",
     "run_throughput",
 ]

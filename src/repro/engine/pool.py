@@ -25,6 +25,7 @@ many transactions ran earlier in the process.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field as dataclass_field
 from time import perf_counter
 
@@ -35,8 +36,11 @@ from ..core.provider import HONEST, ProviderBehavior, TpnrProvider
 from ..core.transaction import TransactionRecord, TxStatus
 from ..core.ttp import TrustedThirdParty
 from ..crypto import cache as crypto_cache
+from ..crypto.batch import BatchLedger, EvidenceBatcher
 from ..crypto.drbg import HmacDrbg
 from ..crypto.pki import CertificateAuthority, Identity, KeyRegistry
+from ..determinism import canon_float
+from ..errors import EvidenceError
 from ..net.channel import PERFECT, ChannelSpec
 from ..net.events import Simulator
 from ..net.network import Network
@@ -111,6 +115,11 @@ class EngineConfig:
     sample_interval: float = 0.5  # in-flight gauge sampling period (sim s)
     anomaly: bool = True  # poll anomaly detectors per sample (observe only)
     slo: bool = True  # evaluate the standard engine SLOs (observe only)
+    # Merkle-batched evidence: one RSA signature per batch of this many
+    # evidence leaves (None = classic per-message signatures).  Batch
+    # layout never reaches the wire accounting (the blob is the fixed
+    # 32-byte leaf), so signature() is invariant in batch_size.
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
@@ -119,6 +128,8 @@ class EngineConfig:
             raise ValueError("transactions_per_tenant must be >= 1")
         if not 0 < self.payload_min <= self.payload_max:
             raise ValueError("need 0 < payload_min <= payload_max")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for per-message)")
 
 
 class TenantDirectory:
@@ -131,6 +142,19 @@ class TenantDirectory:
     identity derives from its own named DRBG stream, so the keys a name
     gets are independent of creation order and of which other names
     exist.
+
+    Safe under concurrent/shard use: memoization is guarded by an
+    RLock, so a directory shared across engine shards generates each
+    identity exactly once (``keygen_count`` is the proof handle — a
+    double-warm or a cross-shard race can only read the cache, never
+    regenerate).  Because streams are *named*, two shards asking for
+    the same label get equal, independent streams — a label collision
+    across shards yields the same keys, not corrupted ones.
+
+    ``len(directory)`` counts only **materialized** identities (the CA
+    is not an identity and never counts); a directory object itself is
+    always truthy — an empty-but-live directory must still be honored,
+    which is why consumers check ``is None``, never falsiness.
     """
 
     def __init__(self, seed: bytes | str = b"tpnr-engine", key_bits: int = DEFAULT_KEY_BITS) -> None:
@@ -138,26 +162,35 @@ class TenantDirectory:
         self.key_bits = key_bits
         self._identities: dict[str, Identity] = {}
         self._ca: CertificateAuthority | None = None
+        self._lock = threading.RLock()
+        self.keygen_count = 0
 
     def stream(self, label: str) -> HmacDrbg:
-        """A named DRBG stream under this directory's seed."""
+        """A named DRBG stream under this directory's seed.
+
+        Stateless with respect to the directory (a fresh DRBG each
+        call), hence safe to call from any shard without the lock.
+        """
         return HmacDrbg(self._seed, personalization=label.encode("utf-8"))
 
     def identity(self, name: str) -> Identity:
-        found = self._identities.get(name)
-        if found is None:
-            found = Identity.generate(
-                name, self.stream(f"engine/identity/{name}"), bits=self.key_bits
-            )
-            self._identities[name] = found
-        return found
+        with self._lock:
+            found = self._identities.get(name)
+            if found is None:
+                found = Identity.generate(
+                    name, self.stream(f"engine/identity/{name}"), bits=self.key_bits
+                )
+                self._identities[name] = found
+                self.keygen_count += 1
+            return found
 
     def certificate_authority(self) -> CertificateAuthority:
-        if self._ca is None:
-            self._ca = CertificateAuthority(
-                "repro-ca", self.stream("engine/ca"), bits=self.key_bits
-            )
-        return self._ca
+        with self._lock:
+            if self._ca is None:
+                self._ca = CertificateAuthority(
+                    "repro-ca", self.stream("engine/ca"), bits=self.key_bits
+                )
+            return self._ca
 
     def warm(self, names: list[str]) -> None:
         """Pre-generate identities outside any timed region."""
@@ -165,7 +198,12 @@ class TenantDirectory:
             self.identity(name)
 
     def __len__(self) -> int:
+        """Materialized identities only (the CA does not count)."""
         return len(self._identities)
+
+    def __bool__(self) -> bool:
+        """Always truthy: emptiness is not absence (see class docs)."""
+        return True
 
 
 @dataclass
@@ -190,14 +228,20 @@ class SessionRecord:
         return None if end is None else end - self.started_at
 
     def row(self) -> tuple:
-        """Canonical deterministic projection for signatures."""
+        """Canonical deterministic projection for signatures.
+
+        Every float goes through :func:`repro.determinism.canon_float`
+        — the one normalization point for hashed floats, so a row built
+        on shard 3 of 8 hashes identically to the same row built
+        unsharded.
+        """
         return (
             self.tenant,
             self.transaction_id,
             self.payload_size,
-            round(self.started_at, 9),
-            None if self.upload_done_at is None else round(self.upload_done_at, 9),
-            None if self.download_done_at is None else round(self.download_done_at, 9),
+            canon_float(self.started_at),
+            None if self.upload_done_at is None else canon_float(self.upload_done_at),
+            None if self.download_done_at is None else canon_float(self.download_done_at),
             self.upload_status,
             self.download_verified,
             self.download_detail,
@@ -235,6 +279,14 @@ class PoolResult:
     # End-of-run SLOReport (config.slo); telemetry only, excluded from
     # signature() like alerts.
     slo: object | None = None
+    # Batched-evidence telemetry ({"batches": n, "leaves": n,
+    # "resolved": n, "failed": n}); excluded from signature() — batch
+    # layout is a crypto-amortization choice, not simulated behavior.
+    batch_stats: dict | None = None
+    # Per-shard summaries when this result was merged from a sharded
+    # run ([{"shard": i, "tenants": n, "sessions": n, ...}]); empty for
+    # an unsharded run.  Telemetry only, excluded from signature().
+    shard_summaries: list = dataclass_field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -264,7 +316,7 @@ class PoolResult:
         h.update(repr((
             self.messages_sent,
             self.bytes_on_wire,
-            round(self.sim_duration, 9),
+            canon_float(self.sim_duration),
             sorted(self.provider_stats.items()),
             sorted(self.ttp_stats.items()),
         )).encode("utf-8"))
@@ -290,11 +342,12 @@ class SessionPool:
         behavior: ProviderBehavior = HONEST,
         provider_name: str = "bob",
         ttp_name: str = "ttp",
+        roster: "tuple[tuple[int, str], ...] | None" = None,
     ) -> None:
         self.config = config
         self._seed = _seed_bytes(seed)
-        # `is None`, not `or`: an empty directory is falsy via __len__
-        # and must still be honored (it memoizes as the pool builds).
+        # `is None`, not `or`: consumers must never rely on directory
+        # truthiness (an empty directory memoizes as the pool builds).
         if directory is None:
             directory = TenantDirectory(self._seed, key_bits=config.key_bits)
         self.directory = directory
@@ -307,7 +360,20 @@ class SessionPool:
         self.behavior = behavior
         self.provider_name = provider_name
         self.ttp_name = ttp_name
-        self.tenant_names = [f"tenant-{i:04d}" for i in range(config.n_tenants)]
+        # The roster maps each tenant to its GLOBAL index: transaction
+        # IDs, workload streams, and party streams all key off it, so a
+        # shard pool running tenants (3, 7, 11) of a 16-tenant world
+        # produces exactly the rows the unsharded world would.
+        if roster is None:
+            roster = tuple(
+                (i, f"tenant-{i:04d}") for i in range(config.n_tenants)
+            )
+        if len(roster) != config.n_tenants:
+            raise ValueError(
+                f"roster has {len(roster)} tenants, config says {config.n_tenants}"
+            )
+        self.roster = tuple(roster)
+        self.tenant_names = [name for _, name in self.roster]
         # Populated by build()/run():
         self.sim: Simulator | None = None
         self.network: Network | None = None
@@ -319,6 +385,7 @@ class SessionPool:
         self._obs: Observability = NULL_OBS
         self.monitor: AnomalyMonitor | None = None
         self.slos: SLOManager | None = None
+        self.ledger: BatchLedger | None = None
 
     # -- world construction --------------------------------------------------
 
@@ -359,6 +426,14 @@ class SessionPool:
             client.on_download_complete = self._download_complete
             self.network.add_node(client)
             self.clients[identity.name] = client
+        self.ledger = None
+        if config.batch_size is not None:
+            self.ledger = BatchLedger()
+            for party in self._parties():
+                party.configure_batching(
+                    self.ledger,
+                    EvidenceBatcher(party.identity, config.batch_size, self.ledger),
+                )
         self.monitor = None
         if config.observe and config.anomaly:
             self.monitor = attach_engine_detectors(
@@ -369,6 +444,43 @@ class SessionPool:
             sim = self.sim
             self.slos = standard_engine_slos(
                 SLOManager(self._obs.metrics, clock=lambda: sim.now))
+
+    def _parties(self):
+        assert self.provider is not None and self.ttp is not None
+        return (self.provider, self.ttp, *self.clients.values())
+
+    def _settle_batches(self) -> dict | None:
+        """End-of-run batched-evidence settlement (fail-closed).
+
+        Seals every party's partial batch, resolves all pending items,
+        and raises :class:`~repro.errors.EvidenceError` if anything
+        fails — a pool run must never report success while holding
+        evidence that cannot be proven.
+        """
+        if self.ledger is None:
+            return None
+        for party in self._parties():
+            if party.batcher is not None:
+                party.batcher.seal()
+        resolved = failed = 0
+        for party in self._parties():
+            got, bad = party.settle_batched_evidence()
+            resolved += got
+            failed += bad
+        if failed:
+            losers = [
+                (p.name, e.header.transaction_id)
+                for p in self._parties() for e in p.batched_failures
+            ]
+            raise EvidenceError(
+                f"{failed} batched evidence item(s) failed settlement: {losers[:8]}"
+            )
+        return {
+            "batches": len(self.ledger.batches),
+            "leaves": self.ledger.leaves_published,
+            "resolved": resolved,
+            "failed": failed,
+        }
 
     def _total_retransmits(self) -> int:
         assert self.provider is not None and self.ttp is not None
@@ -387,7 +499,7 @@ class SessionPool:
         """
         config = self.config
         assert self.sim is not None
-        for index, name in enumerate(self.tenant_names):
+        for index, name in self.roster:
             workload = self._stream(f"engine/workload/{name}")
             for k in range(config.transactions_per_tenant):
                 size = workload.randint(config.payload_min, config.payload_max)
@@ -494,6 +606,7 @@ class SessionPool:
         build_seconds = perf_counter() - build_started
         drive_started = perf_counter()
         self._drive()
+        batch_stats = self._settle_batches()
         drive_seconds = perf_counter() - drive_started
         assert self.sim is not None and self.network is not None
         assert self.provider is not None and self.ttp is not None
@@ -520,4 +633,5 @@ class SessionPool:
             obs=obs,
             alerts=list(self.monitor.alerts) if self.monitor is not None else [],
             slo=self.slos.report(self.sim.now) if self.slos is not None else None,
+            batch_stats=batch_stats,
         )

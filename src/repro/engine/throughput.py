@@ -25,16 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
-from ..core.protocol import make_deployment, run_session
+from ..core.protocol import DEFAULT_KEY_BITS, make_deployment, run_session
 from .pool import EngineConfig, PoolResult, SessionPool, TenantDirectory
+from .sharding import ShardedSessionPool
 
 __all__ = [
     "ThroughputSample",
     "BaselineSample",
     "ThroughputReport",
+    "ShardedSample",
+    "ShardedReport",
     "run_pool",
     "run_baseline",
     "run_throughput",
+    "run_sharded_throughput",
 ]
 
 
@@ -128,15 +132,141 @@ def run_pool(
     use_caches: bool = True,
     transactions_per_tenant: int = 1,
     observe: bool = True,
+    shards: int = 1,
+    batch_size: int | None = None,
+    key_bits: int = DEFAULT_KEY_BITS,
 ) -> PoolResult:
-    """One engine run at one tenant count; the low-level entry point."""
+    """One engine run at one tenant count; the low-level entry point.
+
+    ``shards > 1`` routes through :class:`ShardedSessionPool` (merged
+    result, signature-identical to ``shards=1``); *batch_size* switches
+    on Merkle-batched evidence.
+    """
     config = EngineConfig(
         n_tenants=n_tenants,
         transactions_per_tenant=transactions_per_tenant,
         use_caches=use_caches,
         observe=observe,
+        batch_size=batch_size,
+        key_bits=key_bits,
     )
+    if shards > 1:
+        return ShardedSessionPool(
+            config, seed=seed, shards=shards, directory=directory
+        ).run()
     return SessionPool(config, seed=seed, directory=directory).run()
+
+
+@dataclass(frozen=True)
+class ShardedSample:
+    """One sharded sweep point (fixed tenants, varying shard count)."""
+
+    shards: int
+    batch_size: int
+    tenants: int
+    transactions: int
+    completed: int
+    verified: int
+    wall_seconds: float
+    tx_per_sec: float
+    p50_latency: float
+    p99_latency: float
+    batches_sealed: int
+    signature: str
+
+    def row(self) -> list:
+        return [
+            self.shards,
+            self.batch_size,
+            self.tenants,
+            self.completed,
+            f"{self.wall_seconds:.3f}",
+            f"{self.tx_per_sec:.1f}",
+            f"{self.p50_latency:.4f}",
+            f"{self.p99_latency:.4f}",
+            self.batches_sealed,
+            self.signature[:16],
+        ]
+
+
+@dataclass
+class ShardedReport:
+    """A shard-count sweep plus the classic (unbatched, unsharded)
+    point measured at the same tenant count in the same run."""
+
+    samples: list[ShardedSample]
+    classic: ThroughputSample
+    seed: str
+
+    @property
+    def signatures_identical(self) -> bool:
+        """Bit-identical merged signature at every shard count."""
+        return len({s.signature for s in self.samples}) == 1
+
+    def sample_at(self, shards: int) -> ShardedSample:
+        for sample in self.samples:
+            if sample.shards == shards:
+                return sample
+        raise KeyError(f"no sweep point at {shards} shards")
+
+    def speedup_at(self, shards: int) -> float:
+        """Batched+sharded tx/sec over the classic engine's tx/sec."""
+        if self.classic.tx_per_sec <= 0:
+            return 0.0
+        return self.sample_at(shards).tx_per_sec / self.classic.tx_per_sec
+
+
+def _flatten_sharded(result: PoolResult, shards: int) -> ShardedSample:
+    batch = result.batch_stats or {}
+    return ShardedSample(
+        shards=shards,
+        batch_size=result.config.batch_size or 0,
+        tenants=result.config.n_tenants,
+        transactions=len(result.sessions),
+        completed=result.completed,
+        verified=result.verified,
+        wall_seconds=result.wall_seconds,
+        tx_per_sec=result.tx_per_sec,
+        p50_latency=result.p50_latency,
+        p99_latency=result.p99_latency,
+        batches_sealed=int(batch.get("batches", 0)),
+        signature=result.signature(),
+    )
+
+
+def run_sharded_throughput(
+    seed: bytes | str = b"tpnr-throughput",
+    n_tenants: int = 100,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    batch_size: int = 64,
+    transactions_per_tenant: int = 1,
+    key_bits: int = DEFAULT_KEY_BITS,
+    warm_directory: bool = True,
+) -> ShardedReport:
+    """Sweep shard counts at one tenant count, batched evidence on.
+
+    Every point reuses one warmed :class:`TenantDirectory` (keygen is
+    provisioning, not throughput), and the classic engine — per-message
+    signatures, one shard — is measured in the same run as the
+    comparison point the speedup claims are made against.
+    """
+    directory = TenantDirectory(seed, key_bits=key_bits)
+    if warm_directory:
+        directory.warm(["bob", "ttp", *[f"tenant-{i:04d}" for i in range(n_tenants)]])
+    classic = _flatten(run_pool(
+        seed, n_tenants, directory=directory,
+        transactions_per_tenant=transactions_per_tenant, key_bits=key_bits,
+    ))
+    samples = []
+    for shards in shard_counts:
+        result = run_pool(
+            seed, n_tenants, directory=directory,
+            transactions_per_tenant=transactions_per_tenant,
+            shards=shards, batch_size=batch_size, key_bits=key_bits,
+        )
+        samples.append(_flatten_sharded(result, shards))
+    seed_text = seed.decode("utf-8", "replace") if isinstance(seed, bytes) else str(seed)
+    return ShardedReport(samples=samples, classic=classic, seed=seed_text)
 
 
 def run_baseline(seed: bytes | str, n_transactions: int, payload_size: int = 256) -> BaselineSample:

@@ -18,8 +18,8 @@ The registry is what turns a spec into a run:
   (sorted keys, nondeterministic meta stripped) — the form the
   cross-seed determinism tests compare.
 
-``DEFAULT_REGISTRY`` registers all twenty-two experiments; the eight
-campaign/engine scenarios (FC1, CR1, OB1, OB2, OB3, TP1, RP1, RP2) carry the
+``DEFAULT_REGISTRY`` registers all twenty-three experiments; the nine
+campaign/engine scenarios (FC1, CR1, OB1, OB2, OB3, TP1, TP2, RP1, RP2) carry the
 richer specs (workload knobs, stages, invariance contracts).
 """
 
@@ -279,6 +279,11 @@ def _default_specs() -> list[ScenarioSpec]:
                      "experiment_throughput", "exp/tp1",
                      stages=("perf", "perf-1000"),
                      invariance={"perf": ("cache_toggle_signature_identical",)},
+                     nondeterministic_meta=("wall_tx_per_sec",)),
+        ScenarioSpec("TP2", "extension — sharded engine + Merkle-batched evidence",
+                     "experiment_sharded_throughput", "exp/tp2",
+                     stages=("perf", "perf-10k"),
+                     invariance={"perf": ("shard_signature_invariant_1_2_4_8",)},
                      nondeterministic_meta=("wall_tx_per_sec",)),
         ScenarioSpec("RP1", "extension — replicated-store divergence campaign",
                      "experiment_replication", "exp/rp1",

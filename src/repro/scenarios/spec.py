@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from ..crypto.hashes import digest
+from ..determinism import canon_float
 from ..errors import ReproError
 from .seeds import SEED_SCHEME, repetition_seed, stage_seed
 
@@ -112,17 +113,26 @@ def _normalize(value: Any) -> Any:
     """Collapse equivalent representations before hashing.
 
     Tuples and lists become lists; bytes become latin-1 text (the
-    repo-wide seed convention); mappings sort by key.  Anything else
-    must already be JSON-serializable — fail loudly otherwise, a run
-    key over a lossy ``repr`` would not be content-addressed.
+    repo-wide seed convention); mappings sort by key; floats go through
+    :func:`repro.determinism.canon_float` — the one normalization point
+    for every float that reaches a content hash, so a knob computed as
+    ``0.1 + 0.2`` and one written ``0.3`` (or a ``-0.0``) spell the
+    same run key.  Anything else must already be JSON-serializable —
+    fail loudly otherwise, a run key over a lossy ``repr`` would not be
+    content-addressed.
     """
+    if isinstance(value, bool):
+        # bool before int/float: True must stay True, not become 1.
+        return value
     if isinstance(value, (tuple, list)):
         return [_normalize(v) for v in value]
     if isinstance(value, (bytes, bytearray, memoryview)):
         return bytes(value).decode("latin-1")
     if isinstance(value, Mapping):
         return {str(k): _normalize(v) for k, v in sorted(value.items())}
-    if value is None or isinstance(value, (str, int, float, bool)):
+    if isinstance(value, float):
+        return canon_float(value)
+    if value is None or isinstance(value, (str, int)):
         return value
     raise ReproError(f"cannot canonicalize spec value of type {type(value).__name__}")
 

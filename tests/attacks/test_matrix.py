@@ -14,6 +14,12 @@ import pytest
 
 from repro.attacks.harness import gauntlet_matrix, run_gauntlet, tpnr_defense_holds
 from repro.bridging import ALL_SCHEMES, make_world
+from repro.core import (
+    ProviderBehavior,
+    Verdict,
+    dispute_tampering,
+    make_deployment,
+)
 from repro.storage.tamper import TamperMode
 
 # (attack, target) -> attack succeeded.  The paper's claim in one
@@ -111,3 +117,106 @@ class TestBridgingMatrix:
                 assert not r.detected and r.unilateral_forgery_possible
             else:
                 assert r.detected and not r.unilateral_forgery_possible
+
+
+class TestBatchedEvidenceMatrix:
+    """ISSUE 9 satellite: the Merkle-batched evidence attack cell.
+
+    The new surface batching opens: an attacker who holds a
+    legitimately *signed* batch tries to pass off a tampered item
+    under it.  The batch-root signature verifies — only the item's
+    inclusion proof can catch the swap, so the cell pins three facts:
+    the forged item is rejected (never silently accepted), an honest
+    batched world still convicts a storage-tampering provider, and
+    the dossier's reconstructed verdict agrees with the Arbitrator's.
+    """
+
+    PAYLOAD = b"batched matrix payload " * 8
+
+    @pytest.fixture(scope="class")
+    def tampered_world(self):
+        from repro.core.protocol import run_session
+
+        dep = make_deployment(
+            seed=b"matrix-batched-tamper", batch_size=4, observe=True,
+            behavior=ProviderBehavior(tamper_mode=TamperMode.REPLACE),
+        )
+        outcome = run_session(dep, self.PAYLOAD)
+        dep.settle_batches()
+        return dep, outcome
+
+    def test_batched_storage_tamper_convicted(self, tampered_world):
+        dep, outcome = tampered_world
+        ruling = dispute_tampering(dep, outcome.transaction_id)
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+        assert ruling.evidence_admitted > 0
+
+    def test_dossier_agrees_on_batched_evidence(self, tampered_world):
+        dep, outcome = tampered_world
+        dossier = dep.dossier(outcome.transaction_id)
+        assert dossier.reconstructed_verdict("tampering") is Verdict.PROVIDER_FAULT
+        assert dossier.agrees(dep.arbitrator, "tampering")
+
+    @staticmethod
+    def forge_swapped_item(dep, outcome):
+        """A doctored header claiming different bytes, its matching
+        leaf, and a *real* sealed batch stapled on — the batch-root
+        signature verifies, the inclusion proof cannot."""
+        from dataclasses import replace
+
+        from repro.core.evidence import BatchedEvidence, evidence_leaf
+        from repro.crypto.batch import BatchProof
+
+        genuine = [
+            e for e in dep.client.evidence_store.for_transaction(
+                outcome.transaction_id)
+            if isinstance(e, BatchedEvidence) and not e.pending
+        ]
+        assert genuine, "expected settled batched evidence in the client store"
+        real = genuine[0]
+        fake_header = replace(real.header, data_hash=b"\x13" * 32)
+        fake_leaf = evidence_leaf(real.signer, fake_header)
+        return BatchedEvidence(
+            signer=real.signer,
+            header=fake_header,
+            signature_over_data_hash=b"",
+            signature_over_header=b"",
+            leaf=fake_leaf,
+            proof=BatchProof(
+                signer=real.signer,
+                leaf=fake_leaf,
+                index=real.proof.index,
+                path=real.proof.path,
+                batch=real.proof.batch,
+            ),
+        )
+
+    def test_signed_batch_does_not_bless_a_swapped_item(self, tampered_world):
+        """Batch signature valid + inclusion proof invalid -> rejected."""
+        from repro.crypto.batch import verify_batch_root
+
+        dep, outcome = tampered_world
+        forged = self.forge_swapped_item(dep, outcome)
+        # The batch signature the forgery rides on IS valid...
+        signer_key = dep.registry.lookup(forged.signer)
+        assert verify_batch_root(signer_key, forged.proof.batch)
+        # ...and the item must still be rejected, not silently accepted.
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id, dep.provider.name, [forged], []
+        )
+        assert ruling.verdict is Verdict.UNRESOLVED
+        assert ruling.evidence_admitted == 0
+        assert ruling.evidence_rejected == 1
+
+    def test_forged_item_among_genuine_changes_nothing(self, tampered_world):
+        """A forgery mixed into honest evidence is dropped while the
+        genuine items still convict."""
+        dep, outcome = tampered_world
+        forged = self.forge_swapped_item(dep, outcome)
+        genuine = list(
+            dep.client.evidence_store.for_transaction(outcome.transaction_id))
+        ruling = dep.arbitrator.rule_on_tampering(
+            outcome.transaction_id, dep.provider.name, genuine + [forged], []
+        )
+        assert ruling.verdict is Verdict.PROVIDER_FAULT
+        assert ruling.evidence_rejected >= 1

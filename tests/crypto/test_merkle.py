@@ -1,0 +1,92 @@
+"""Merkle accumulator: roots, inclusion proofs, odd-node promotion."""
+
+import pytest
+
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+from repro.errors import CryptoError
+
+
+def leaves(n: int) -> list[bytes]:
+    return [b"leaf-%d" % i for i in range(n)]
+
+
+class TestTree:
+    def test_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([])
+
+    def test_deterministic_root(self):
+        assert MerkleTree(leaves(5)).root == MerkleTree(leaves(5)).root
+
+    def test_root_depends_on_every_leaf(self):
+        base = MerkleTree(leaves(4)).root
+        for i in range(4):
+            mutated = leaves(4)
+            mutated[i] = b"tampered"
+            assert MerkleTree(mutated).root != base
+
+    def test_root_depends_on_order(self):
+        a, b = b"a", b"b"
+        assert MerkleTree([a, b]).root != MerkleTree([b, a]).root
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert len(tree) == 1
+        assert tree.prove(0) == ()
+        assert verify_inclusion(tree.root, b"only", ())
+
+    def test_promotion_not_duplication(self):
+        # The classic ambiguity: with leaf duplication [a, b, c] and
+        # [a, b, c, c] share a root.  Promotion must keep them apart.
+        assert MerkleTree([b"a", b"b", b"c"]).root != MerkleTree(
+            [b"a", b"b", b"c", b"c"]).root
+
+    def test_leaf_and_interior_domains_separated(self):
+        # An interior node reinterpreted as a leaf must not verify:
+        # a two-leaf tree's root is H(node || l0 || l1), and a
+        # single-"leaf" tree over any payload hashes the leaf domain
+        # first, so no payload can alias the interior node.
+        two = MerkleTree([b"a", b"b"])
+        assert not verify_inclusion(two.root, two.root, ())
+
+    def test_prove_out_of_range(self):
+        tree = MerkleTree(leaves(3))
+        for bad in (-1, 3, 10):
+            with pytest.raises(CryptoError):
+                tree.prove(bad)
+
+
+class TestInclusion:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 9, 33])
+    def test_every_leaf_provable(self, n):
+        tree = MerkleTree(leaves(n))
+        for i in range(n):
+            proof = tree.prove(i)
+            assert len(proof) <= max(1, n.bit_length())
+            assert verify_inclusion(tree.root, leaves(n)[i], proof)
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree(leaves(8))
+        assert not verify_inclusion(tree.root, b"not-a-member", tree.prove(3))
+
+    def test_proof_bound_to_position(self):
+        tree = MerkleTree(leaves(8))
+        # leaf 2's proof cannot vouch for leaf 3's payload
+        assert not verify_inclusion(tree.root, leaves(8)[3], tree.prove(2))
+
+    def test_tampered_sibling_rejected(self):
+        tree = MerkleTree(leaves(8))
+        side, sibling = tree.prove(0)[0]
+        doctored = ((side, b"\x00" * len(sibling)),) + tree.prove(0)[1:]
+        assert not verify_inclusion(tree.root, leaves(8)[0], doctored)
+
+    def test_unknown_side_rejected(self):
+        tree = MerkleTree(leaves(4))
+        _, sibling = tree.prove(0)[0]
+        doctored = (("X", sibling),) + tree.prove(0)[1:]
+        assert not verify_inclusion(tree.root, leaves(4)[0], doctored)
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree(leaves(6))
+        other = MerkleTree(leaves(7))
+        assert not verify_inclusion(other.root, leaves(6)[1], tree.prove(1))

@@ -130,10 +130,115 @@ class TestTenantDirectory:
         assert len(a) == 1 and len(b) == 2
 
     def test_cold_directory_is_honored_not_replaced(self):
-        # Regression: an empty directory is falsy (__len__ == 0); the
-        # pool must still adopt it so it fills as the world builds.
+        # Regression: an empty directory has __len__ == 0 (and is now
+        # always truthy); the pool must adopt it either way so it
+        # fills as the world builds.
         cold = TenantDirectory(SEED)
         pool = SessionPool(EngineConfig(n_tenants=1), seed=SEED, directory=cold)
         assert pool.directory is cold
         pool.build()
         assert len(cold) == 3  # provider + ttp + one tenant
+
+
+class TestDirectoryShardSafety:
+    """ISSUE 9 satellite regressions: memoization under concurrent /
+    shard use, double-warm, and label collisions across shards."""
+
+    def test_double_warm_generates_nothing_new(self):
+        d = TenantDirectory(b"dir-warm")
+        names = ["bob", "ttp", "tenant-0000", "tenant-0001"]
+        d.warm(names)
+        first = d.keygen_count
+        assert first == len(names)
+        d.warm(names)  # the regression: a second warm must be a no-op
+        assert d.keygen_count == first
+
+    def test_cross_shard_label_collision_yields_equal_keys(self):
+        # Two shards sharing one directory ask for the same label: they
+        # must observe the *same* identity object, generated once.
+        d = TenantDirectory(b"dir-collide")
+        a = d.identity("tenant-0007")
+        b = d.identity("tenant-0007")
+        assert a is b
+        assert d.keygen_count == 1
+
+    def test_concurrent_identity_requests_generate_once(self):
+        import threading
+
+        d = TenantDirectory(b"dir-race")
+        got = []
+        barrier = threading.Barrier(4)
+
+        def grab():
+            barrier.wait()
+            got.append(d.identity("shared"))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert d.keygen_count == 1
+        assert all(i is got[0] for i in got)
+
+    def test_empty_directory_is_truthy_but_zero_len(self):
+        # Falsiness used to alias "no directory supplied"; an empty
+        # directory must stay distinguishable from None.
+        d = TenantDirectory(b"dir-bool")
+        assert len(d) == 0
+        assert bool(d) is True
+
+    def test_ca_never_counts_as_identity(self):
+        d = TenantDirectory(b"dir-ca")
+        d.certificate_authority()
+        assert len(d) == 0
+        assert d.keygen_count == 0
+
+
+class TestSignatureFloatCanon:
+    """ISSUE 9 satellite regression: every float reaching signature()
+    is normalized, so accumulated float noise cannot move the hash."""
+
+    def test_sim_duration_noise_invisible(self, result):
+        from dataclasses import replace as dc_replace
+
+        noisy = dc_replace(result, sim_duration=result.sim_duration + 1e-13)
+        assert noisy.signature() == result.signature()
+
+    def test_wall_clock_fields_excluded(self, result):
+        from dataclasses import replace as dc_replace
+
+        moved = dc_replace(result, build_seconds=result.build_seconds + 123.4,
+                           drive_seconds=result.drive_seconds + 5.6)
+        assert moved.signature() == result.signature()
+
+    def test_session_rows_carry_canonical_floats(self, result):
+        from repro.determinism import canon_float
+
+        for session in result.sessions:
+            row = session.row()
+            for cell in row:
+                if isinstance(cell, float):
+                    assert cell == canon_float(cell)
+
+
+class TestBatchedPool:
+    """Merkle-batched evidence inside the pool: settlement is part of
+    the run, fail-closed, and invisible to the result signature's
+    session rows."""
+
+    def test_batched_run_settles_everything(self, directory):
+        batched = run_pool(SEED, 3, directory=directory, batch_size=2)
+        assert batched.completed == 3 == batched.verified
+        stats = batched.batch_stats
+        assert stats is not None
+        assert stats["failed"] == 0
+        assert stats["batches"] > 0
+        assert stats["leaves"] > 0
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            EngineConfig(n_tenants=1, batch_size=0)
+
+    def test_classic_run_has_no_batch_stats(self, result):
+        assert result.batch_stats is None

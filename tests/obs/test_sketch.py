@@ -10,6 +10,8 @@ label-cardinality budget.
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.sketch import (
     DEFAULT_ALPHA,
@@ -240,3 +242,91 @@ class TestAggregator:
         assert [w.start for w in a.windows] == [w.start for w in b.windows]
         assert a.rollup("lat").buckets == b.rollup("lat").buckets
         assert DEFAULT_ALPHA == a.alpha
+
+
+class TestMergedQuantilePropertyBound:
+    """ISSUE 9 satellite: property-test that merged-shard quantiles
+    stay within the alpha bound of the global build for adversarial
+    counts — count=1, all-equal values, zero-bucket-only, and mixed
+    populations straddling the rank-walk's bucket boundaries."""
+
+    ALPHA_QS = (0.0, 0.25, 0.5, 0.75, 0.99, 1.0)
+
+    def assert_merge_matches_global(self, values, shards=3):
+        global_sketch = QuantileSketch("lat")
+        shard_sketches = [QuantileSketch("lat") for _ in range(shards)]
+        for i, v in enumerate(values):
+            global_sketch.observe(v)
+            shard_sketches[i % shards].observe(v)
+        merged = QuantileSketch.merged("lat", shard_sketches)
+        for q in self.ALPHA_QS:
+            assert merged.quantile(q) == global_sketch.quantile(q), (
+                q, values)
+        return global_sketch
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_count_one(self, v):
+        s = self.assert_merge_matches_global([v], shards=4)
+        # With one sample, every quantile is that sample: exactly (via
+        # min) for a zero-bucket value, within alpha otherwise.
+        for q in self.ALPHA_QS:
+            est = s.quantile(q)
+            if s.zero_count:
+                assert est == s.min == v
+            else:
+                assert abs(est - v) <= s.alpha * v + 1e-12
+
+    @given(st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+           st.integers(min_value=2, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_all_equal(self, v, n):
+        s = self.assert_merge_matches_global([v] * n)
+        for q in self.ALPHA_QS:
+            assert abs(s.quantile(q) - v) <= s.alpha * v + 1e-12
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_bucket_only(self, n):
+        s = self.assert_merge_matches_global([0.0] * n, shards=4)
+        for q in self.ALPHA_QS:
+            assert s.quantile(q) == 0.0
+
+    @given(st.lists(st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-9, max_value=1e6, allow_nan=False)),
+        min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=6))
+    @settings(max_examples=80, deadline=None)
+    def test_mixed_population_within_alpha(self, values, shards):
+        global_sketch = self.assert_merge_matches_global(values, shards)
+        sv = sorted(values)
+        for q in self.ALPHA_QS:
+            est = global_sketch.quantile(q)
+            i = int(q * (len(sv) - 1))
+            neighbours = {sv[j] for j in
+                          (max(i - 1, 0), i, min(i + 1, len(sv) - 1))}
+            assert any(
+                abs(est - x) <= global_sketch.alpha * x + 1e-9
+                for x in neighbours
+            ), (q, est, sorted(neighbours))
+
+    def test_boundary_zero_then_one_tracked(self):
+        # rank exactly at the zero-bucket boundary: 2 zeros + 2
+        # tracked, q=0.5 -> rank 1.5, still inside the zero bucket.
+        s = QuantileSketch("lat")
+        for v in (0.0, 0.0, 1.0, 2.0):
+            s.observe(v)
+        assert s.quantile(0.5) == 0.0
+        assert s.quantile(0.75) > 0.0
+
+    def test_boundary_rank_equals_bucket_edge(self):
+        # rank integer-exact at a bucket edge: 1 zero + 1 tracked,
+        # q=0.5 -> rank 0.5 >= zero_count would be the off-by-one;
+        # rank < zero_count (0.5 < 1) keeps it in the zero bucket.
+        s = QuantileSketch("lat")
+        s.observe(0.0)
+        s.observe(5.0)
+        assert s.quantile(0.0) == 0.0
+        assert s.quantile(0.5) == 0.0
+        assert s.quantile(1.0) == 5.0

@@ -22,7 +22,7 @@ def test_all_cli_experiments_are_registered():
     from repro.cli import EXPERIMENTS
 
     assert set(EXPERIMENTS) == set(SCENARIOS.ids())
-    assert len(SCENARIOS) == 22
+    assert len(SCENARIOS) == 23
 
 
 @pytest.mark.parametrize("scenario_id,root,workload,stages", [
@@ -32,6 +32,7 @@ def test_all_cli_experiments_are_registered():
     ("OB2", "exp/ob2", {"n_plans": 100}, ("cost", "overhead")),
     ("OB3", "exp/ob3", {"n_plans": 24}, ("perf",)),
     ("TP1", "exp/tp1", {}, ("perf", "perf-1000")),
+    ("TP2", "exp/tp2", {}, ("perf", "perf-10k")),
     ("RP1", "exp/rp1", {"n_plans": 60}, ("perf",)),
     ("RP2", "exp/rp2", {}, ()),
 ])
@@ -52,6 +53,9 @@ def test_invariance_contracts_are_declared():
     assert SCENARIOS.get("OB3").spec.checks_for("perf") == (
         "sketch_merge_equivalent_and_alerts_deterministic",)
     assert SCENARIOS.get("TP1").spec.checks_for("perf-1000") == ()
+    assert SCENARIOS.get("TP2").spec.checks_for("perf") == (
+        "shard_signature_invariant_1_2_4_8",)
+    assert SCENARIOS.get("TP2").spec.checks_for("perf-10k") == ()
 
 
 def test_run_keys_are_distinct_across_scenarios():

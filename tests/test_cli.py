@@ -77,3 +77,28 @@ class TestCommands:
         metrics = (tmp_path / "metrics.jsonl").read_text().splitlines()
         assert metrics and all("name" in json.loads(line) for line in metrics)
         assert "# TYPE" in (tmp_path / "metrics.prom").read_text()
+
+
+class TestThroughputFlags:
+    """ISSUE 9 satellite: `repro throughput --shards/--batch-size` —
+    invalid values exit 2 with a message, never a traceback."""
+
+    def test_shards_below_one_exits_2(self, capsys):
+        assert main(["throughput", "--shards", "0"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_negative_shards_exits_2(self, capsys):
+        assert main(["throughput", "--shards", "-3"]) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_batch_size_below_one_exits_2(self, capsys):
+        assert main(["throughput", "--batch-size", "0"]) == 2
+        assert "--batch-size must be >= 1" in capsys.readouterr().err
+
+    def test_sharded_batched_sweep_runs(self, capsys):
+        assert main(["throughput", "--tenants", "1", "2", "--baseline", "0",
+                     "--shards", "2", "--batch-size", "4",
+                     "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "batches" in out

@@ -1,0 +1,47 @@
+"""canon_float: the single normalization point for hashed floats.
+
+ISSUE 9 satellite regression: any float reaching a result signature or
+a run key goes through :func:`repro.determinism.canon_float`, so
+accumulated float noise (``0.1 + 0.2``), negative zero, and spelled-out
+literals all hash identically.
+"""
+
+import math
+
+from repro.determinism import CANON_FLOAT_DECIMALS, canon_float
+
+
+class TestCanonFloat:
+    def test_accumulated_noise_collapses(self):
+        assert canon_float(0.1 + 0.2) == canon_float(0.3)
+
+    def test_negative_zero_normalized(self):
+        out = canon_float(-0.0)
+        assert out == 0.0
+        assert math.copysign(1.0, out) == 1.0  # +0.0, not -0.0
+
+    def test_rounds_to_declared_decimals(self):
+        assert CANON_FLOAT_DECIMALS == 9
+        assert canon_float(1.0000000004) == 1.0
+        assert canon_float(1.23456789049) == 1.23456789
+
+    def test_meaningful_digits_survive(self):
+        assert canon_float(0.000000001) == 1e-9
+        assert canon_float(123456.789) == 123456.789
+
+    def test_idempotent(self):
+        for v in (0.1 + 0.2, -0.0, 7.25, 1e-12):
+            assert canon_float(canon_float(v)) == canon_float(v)
+
+    def test_non_finite_pass_through(self):
+        assert math.isnan(canon_float(float("nan")))
+        assert canon_float(float("inf")) == float("inf")
+        assert canon_float(float("-inf")) == float("-inf")
+
+    def test_repr_stability_the_point_of_it_all(self):
+        # Two spellings of "the same" duration must produce identical
+        # repr() bytes — that is what feeds the signature hash.
+        sim_a = sum([0.1] * 3)      # 0.30000000000000004
+        sim_b = 0.3
+        assert repr(sim_a) != repr(sim_b)  # the raw hazard...
+        assert repr(canon_float(sim_a)) == repr(canon_float(sim_b))
