@@ -69,7 +69,7 @@ from .core import (
 )
 from .errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "analysis",

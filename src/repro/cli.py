@@ -51,7 +51,21 @@ Commands
     fork-consistency audit names the culprit.  ``--campaign`` sweeps
     the seeded RP1 replica-fault campaign (every fault masked or
     detected, never silent); ``--migrate`` runs the RP2 live
-    s3like→azurelike migration with evidence continuity.
+    s3like→azurelike migration with evidence continuity; ``--profile
+    --profile-dir DIR`` profiles the demo session and writes
+    ``flamegraph.txt`` / ``profile.jsonl``.
+``profile [--flamegraph] [--critical-path] [--check-regression] [...]``
+    The deterministic profiler.  Default mode runs the (sharded)
+    engine with the region profiler attached and prints the hot
+    regions plus shard utilization; ``--flamegraph`` prints the
+    collapsed-stack flamegraph instead (``--dump-dir`` writes
+    ``flamegraph.txt`` / ``profile.jsonl`` — byte-identical across
+    same-seed runs and shard counts with per-message evidence);
+    ``--critical-path`` extracts a live observed session's dominant
+    stage chain and checks it reconciles with the measured elapsed;
+    ``--check-regression`` replays the perf-regression sentinel over
+    the committed ``BENCH_PERF.json`` trajectory, exiting non-zero on
+    any tx/s drop beyond ``--tolerance``.
 """
 
 from __future__ import annotations
@@ -269,6 +283,15 @@ def _cmd_replication(args: argparse.Namespace) -> int:
     from .net.faults import generate_replica_plans
     from .replication import ReplicatedStore, ReplicationCampaignRunner, attach_replication
 
+    if args.profile and not args.profile_dir:
+        print("repro replication: --profile requires --profile-dir "
+              "(nowhere to write flamegraph.txt / profile.jsonl)",
+              file=sys.stderr)
+        return 2
+    if args.profile and (args.campaign or args.migrate):
+        print("repro replication: --profile applies to the demo session only "
+              "(drop --campaign/--migrate)", file=sys.stderr)
+        return 2
     seed = args.seed.encode()
     if args.campaign:
         plans = generate_replica_plans(seed, args.plans)
@@ -292,6 +315,9 @@ def _cmd_replication(args: argparse.Namespace) -> int:
         return 0 if ok else 1
 
     dep = make_deployment(seed=seed, observe=True)
+    if args.profile:
+        # Before attach: the store picks up the deployment's profiler.
+        dep.obs.enable_profiler()
     store = attach_replication(dep, ReplicatedStore(seed=seed + b"/store"))
     outcome = run_upload(dep, b"replicated session payload " * 8)
     txn = outcome.transaction_id
@@ -318,6 +344,8 @@ def _cmd_replication(args: argparse.Namespace) -> int:
         ],
         title=f"Replicated TPNR session (seed={args.seed!r})",
     ))
+    if args.profile:
+        _write_profile_artifacts(dep.obs.profiler, args.profile_dir)
     ok = result.verified and args.replica in culprits
     return 0 if ok else 1
 
@@ -441,6 +469,19 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_profile_artifacts(profile, dump_dir: str, suffix: str = "") -> None:
+    """Write ``flamegraph{suffix}.txt`` / ``profile{suffix}.jsonl``."""
+    import pathlib
+
+    from .obs.profiler import flamegraph_text, profile_jsonl
+
+    out = pathlib.Path(dump_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"flamegraph{suffix}.txt").write_text(flamegraph_text(profile))
+    (out / f"profile{suffix}.jsonl").write_text(profile_jsonl(profile))
+    print(f"wrote flamegraph{suffix}.txt, profile{suffix}.jsonl to {out}/")
+
+
 def _cmd_throughput(args: argparse.Namespace) -> int:
     """Sweep the session engine and compare against the baseline."""
     from .engine import TenantDirectory, run_baseline, run_pool
@@ -455,6 +496,11 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         print(f"repro throughput: --batch-size must be >= 1 (got {batch_size})",
               file=sys.stderr)
         return 2
+    if args.profile and not args.profile_dir:
+        print("repro throughput: --profile requires --profile-dir "
+              "(nowhere to write flamegraph.txt / profile.jsonl)",
+              file=sys.stderr)
+        return 2
     seed = args.seed.encode()
     tenant_counts = tuple(args.tenants)
     use_caches = not args.no_caches
@@ -464,7 +510,11 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     all_ok = True
     for n in tenant_counts:
         result = run_pool(seed, n, directory=directory, use_caches=use_caches,
-                          shards=shards, batch_size=batch_size)
+                          shards=shards, batch_size=batch_size,
+                          profile=args.profile)
+        if args.profile and result.profile is not None:
+            _write_profile_artifacts(result.profile, args.profile_dir,
+                                     suffix=f"-{n:04d}")
         stats = result.cache_stats or {}
         verify = stats.get("verify", {})
         all_ok = all_ok and result.completed == result.verified == len(result.sessions)
@@ -495,6 +545,117 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             title="Sequential baseline",
         ))
     return 0 if all_ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Deterministic profiler: flamegraph / critical path / sentinel."""
+    from .obs.profiler import (
+        critical_path,
+        flamegraph_text,
+        shard_utilization,
+        top_regions,
+    )
+
+    if args.shards < 1:
+        print(f"repro profile: --shards must be >= 1 (got {args.shards})",
+              file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print(f"repro profile: --batch-size must be >= 1 (got {args.batch_size})",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"repro profile: --tolerance must be in [0, 1) (got {args.tolerance})",
+              file=sys.stderr)
+        return 2
+    seed = args.seed.encode()
+
+    if args.check_regression:
+        import pathlib
+
+        from .scenarios import RegressionError, audit_trajectory
+
+        path = pathlib.Path(args.results) / "BENCH_PERF.json"
+        if not path.exists():
+            print(f"repro profile: no trajectory file at {path}", file=sys.stderr)
+            return 2
+        try:
+            reports = audit_trajectory(path, tolerance=args.tolerance)
+        except RegressionError as exc:
+            print(f"REGRESSION: {exc}", file=sys.stderr)
+            return 1
+        rows = []
+        for r in reports:
+            if "series" in r:
+                exp, stage, kind, coords = r["series"]
+                label = f"{exp}/{stage}/{kind} {dict(coords)}"
+            else:
+                label = str(r.get("experiment_id", "-"))
+            rows.append([label, r["status"],
+                         r.get("tx_per_sec", "-"), r.get("best_prior", "-")])
+        print(render_table(
+            ["series", "status", "tx/sec", "best prior"], rows,
+            title=f"Sentinel replay over {path} (tolerance {args.tolerance:.0%})",
+        ))
+        print(f"\n{len(rows)} series checked; no regression beyond tolerance")
+        return 0
+
+    if args.critical_path:
+        from .net.channel import WAN
+        from .obs.exporters import span_tree_text
+
+        dep = make_deployment(seed=seed + b"/critical", observe=True, channel=WAN)
+        outcome = run_session(dep, b"profiled critical-path payload " * 8)
+        txn = outcome.transaction_id
+        path = critical_path(dep.obs.tracer, txn)
+        if path is None or not path.stages:
+            print("repro profile: the session produced no span tree",
+                  file=sys.stderr)
+            return 1
+        print(span_tree_text(dep.obs.tracer, txn))
+        print(render_table(
+            ["stage", "start (sim s)", "end (sim s)", "self (sim s)"],
+            path.rows(),
+            title=f"Critical path of {txn}",
+        ))
+        print(render_kv(
+            [
+                ("dominant stage", path.dominant().name),
+                ("path length (sim s)", f"{path.length:.6f}"),
+                ("measured elapsed (sim s)", f"{path.total:.6f}"),
+                ("reconciles", path.reconciles()),
+            ],
+            title="Critical-path accounting",
+        ))
+        return 0 if path.reconciles() else 1
+
+    from .engine import TenantDirectory, run_pool
+
+    directory = TenantDirectory(seed)
+    directory.warm(["bob", "ttp",
+                    *[f"tenant-{i:04d}" for i in range(args.tenants)]])
+    result = run_pool(seed, args.tenants, directory=directory,
+                      shards=args.shards, batch_size=args.batch_size,
+                      profile=True)
+    profile = result.profile
+    if args.flamegraph:
+        print(flamegraph_text(profile), end="")
+    else:
+        print(render_table(
+            ["region", "calls", "self sim (s)"],
+            [list(row) for row in top_regions(profile, k=args.top)],
+            title=f"Hot regions ({args.tenants} tenants, {args.shards} "
+            f"shard(s), batch={args.batch_size if args.batch_size else 'off'})",
+        ))
+        if result.shard_summaries:
+            util = shard_utilization(result.shard_summaries)
+            print(render_kv(
+                sorted(util.items()),
+                title="Shard utilization (wall-derived, nondeterministic)",
+            ))
+    if args.dump_dir:
+        _write_profile_artifacts(profile, args.dump_dir)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,6 +721,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--replica", default="s3like",
                      choices=["s3like", "azurelike", "gaelike"],
                      help="replica to tamper in the demo")
+    p_r.add_argument("--profile", action="store_true",
+                     help="attach the region profiler to the demo session "
+                     "(requires --profile-dir)")
+    p_r.add_argument("--profile-dir", default="",
+                     help="directory for flamegraph.txt / profile.jsonl")
     p_r.set_defaults(func=_cmd_replication)
 
     p_sl = sub.add_parser("slo",
@@ -586,8 +752,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_t.add_argument("--batch-size", type=int, default=None,
                      help="Merkle-batch evidence: leaves per RSA signature "
                      "(>= 1; omit for classic per-message signatures)")
+    p_t.add_argument("--profile", action="store_true",
+                     help="attach the region profiler to every sweep point "
+                     "(requires --profile-dir)")
+    p_t.add_argument("--profile-dir", default="",
+                     help="directory for per-point flamegraph-<n>.txt / "
+                     "profile-<n>.jsonl")
     p_t.add_argument("--seed", default="cli", help="determinism seed")
     p_t.set_defaults(func=_cmd_throughput)
+
+    p_p = sub.add_parser("profile",
+                         help="deterministic profiler: flamegraph / "
+                         "critical path / regression sentinel")
+    p_p.add_argument("--seed", default="cli", help="determinism seed")
+    p_p.add_argument("--tenants", type=int, default=8,
+                     help="engine tenants for the profiled run")
+    p_p.add_argument("--shards", type=int, default=4,
+                     help="engine worker shards (>= 1)")
+    p_p.add_argument("--batch-size", type=int, default=None,
+                     help="Merkle-batch evidence leaves per signature "
+                     "(omit for per-message; artifacts are shard-invariant "
+                     "only with per-message evidence)")
+    p_p.add_argument("--top", type=int, default=10,
+                     help="hot regions to print in the default mode")
+    p_p.add_argument("--flamegraph", action="store_true",
+                     help="print the collapsed-stack flamegraph "
+                     "(folded format, call-weighted, deterministic)")
+    p_p.add_argument("--critical-path", action="store_true",
+                     help="extract one observed session's critical path "
+                     "and check the self-time accounting reconciles")
+    p_p.add_argument("--check-regression", action="store_true",
+                     help="replay the perf-regression sentinel over the "
+                     "committed BENCH_PERF.json trajectory")
+    p_p.add_argument("--results", default="benchmarks/results",
+                     help="directory holding BENCH_PERF.json "
+                     "(--check-regression)")
+    p_p.add_argument("--tolerance", type=float, default=0.15,
+                     help="max fractional tx/s drop vs the best prior "
+                     "point (--check-regression)")
+    p_p.add_argument("--dump-dir", default="",
+                     help="write flamegraph.txt / profile.jsonl here")
+    p_p.set_defaults(func=_cmd_profile)
 
     p_s = sub.add_parser("scenario",
                          help="scenario control plane: list/describe/run/gate")

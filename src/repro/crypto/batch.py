@@ -27,7 +27,9 @@ header) is defined by :func:`repro.core.evidence.evidence_leaf`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
+from . import instrument as _instrument
 from . import rsa
 from .merkle import MerkleTree, verify_inclusion
 from .pki import Identity
@@ -151,17 +153,28 @@ class EvidenceBatcher:
             self.seal()
 
     def seal(self) -> SealedBatch | None:
-        """Seal whatever is pending (the end-of-run flush); None if empty."""
+        """Seal whatever is pending (the end-of-run flush); None if empty.
+
+        The ``batch.seal`` wall time reported to the crypto observer
+        covers the whole seal — it *includes* the inner ``merkle.build``
+        and ``rsa.sign`` calls, which also report individually.
+        """
         if not self._pending:
             return None
-        tree = MerkleTree(self._pending)
-        batch = SealedBatch(
-            signer=self.identity.name,
-            root=tree.root,
-            signature=sign_batch_root(self.identity.private_key, tree.root),
-            size=len(tree),
-        )
-        self.ledger.publish(tree, batch)
-        self._pending = []
-        self.batches_sealed += 1
-        return batch
+        observer = _instrument.observer
+        started = perf_counter() if observer is not None else 0.0
+        try:
+            tree = MerkleTree(self._pending)
+            batch = SealedBatch(
+                signer=self.identity.name,
+                root=tree.root,
+                signature=sign_batch_root(self.identity.private_key, tree.root),
+                size=len(tree),
+            )
+            self.ledger.publish(tree, batch)
+            self._pending = []
+            self.batches_sealed += 1
+            return batch
+        finally:
+            if observer is not None:
+                observer.crypto_call("batch.seal", perf_counter() - started)

@@ -25,7 +25,10 @@ the proof.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..errors import CryptoError
+from . import instrument as _instrument
 from .hashes import digest
 
 __all__ = ["MerkleTree", "verify_inclusion"]
@@ -48,6 +51,8 @@ class MerkleTree:
     def __init__(self, leaves: list[bytes] | tuple[bytes, ...]) -> None:
         if not leaves:
             raise CryptoError("a Merkle tree needs at least one leaf")
+        observer = _instrument.observer
+        started = perf_counter() if observer is not None else 0.0
         self._leaves = [bytes(leaf) for leaf in leaves]
         levels = [[_leaf_node(leaf) for leaf in self._leaves]]
         while len(levels[-1]) > 1:
@@ -60,6 +65,8 @@ class MerkleTree:
                 nxt.append(prev[-1])  # promote, never duplicate
             levels.append(nxt)
         self._levels = levels
+        if observer is not None:
+            observer.crypto_call("merkle.build", perf_counter() - started)
 
     def __len__(self) -> int:
         return len(self._leaves)
@@ -80,6 +87,8 @@ class MerkleTree:
         if not 0 <= index < len(self._leaves):
             raise CryptoError(
                 f"leaf index {index} out of range for {len(self._leaves)} leaves")
+        observer = _instrument.observer
+        started = perf_counter() if observer is not None else 0.0
         path: list[tuple[str, bytes]] = []
         i = index
         for level in self._levels[:-1]:
@@ -88,6 +97,8 @@ class MerkleTree:
                 side = "L" if sibling < i else "R"
                 path.append((side, level[sibling]))
             i //= 2
+        if observer is not None:
+            observer.crypto_call("merkle.prove", perf_counter() - started)
         return tuple(path)
 
 
@@ -100,12 +111,18 @@ def verify_inclusion(
     (Arbitrator, forensics) check an item against a published signed
     root alone.
     """
-    node = _leaf_node(leaf)
-    for side, sibling in proof:
-        if side == "L":
-            node = _interior_node(sibling, node)
-        elif side == "R":
-            node = _interior_node(node, sibling)
-        else:
-            return False
-    return node == root
+    observer = _instrument.observer
+    started = perf_counter() if observer is not None else 0.0
+    try:
+        node = _leaf_node(leaf)
+        for side, sibling in proof:
+            if side == "L":
+                node = _interior_node(sibling, node)
+            elif side == "R":
+                node = _interior_node(node, sibling)
+            else:
+                return False
+        return node == root
+    finally:
+        if observer is not None:
+            observer.crypto_call("merkle.verify", perf_counter() - started)

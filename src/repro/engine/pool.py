@@ -45,6 +45,7 @@ from ..net.channel import PERFECT, ChannelSpec
 from ..net.events import Simulator
 from ..net.network import Network
 from ..obs import NULL_OBS, Observability
+from ..obs.profiler import NULL_PROFILER, RegionProfiler
 from ..obs.anomaly import (
     AnomalyMonitor,
     BurnRateDetector,
@@ -120,6 +121,10 @@ class EngineConfig:
     # layout never reaches the wire accounting (the blob is the fixed
     # 32-byte leaf), so signature() is invariant in batch_size.
     batch_size: int | None = None
+    # Region profiling: build/schedule/drive/settle regions + crypto
+    # leaves land in PoolResult.profile (telemetry only — the profile
+    # never reaches signature()).  Requires observe.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.n_tenants < 1:
@@ -130,6 +135,8 @@ class EngineConfig:
             raise ValueError("need 0 < payload_min <= payload_max")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be >= 1 (or None for per-message)")
+        if self.profile and not self.observe:
+            raise ValueError("profile=True requires observe=True")
 
 
 class TenantDirectory:
@@ -287,6 +294,10 @@ class PoolResult:
     # run ([{"shard": i, "tenants": n, "sessions": n, ...}]); empty for
     # an unsharded run.  Telemetry only, excluded from signature().
     shard_summaries: list = dataclass_field(default_factory=list)
+    # The run's RegionProfiler (config.profile); telemetry only,
+    # excluded from signature() like obs/cache_stats — profiles carry
+    # wall-clock data and shard-dependent harness regions.
+    profile: object | None = None
 
     @property
     def completed(self) -> int:
@@ -386,11 +397,21 @@ class SessionPool:
         self.monitor: AnomalyMonitor | None = None
         self.slos: SLOManager | None = None
         self.ledger: BatchLedger | None = None
+        # Region profiler: NULL unless config.profile; _run_inner seats
+        # a live one before build() so enrollment crypto is attributed.
+        self.profiler: RegionProfiler = NULL_PROFILER
+        self._crypto_scope = None  # open observe_crypto() CM while profiling
 
     # -- world construction --------------------------------------------------
 
     def _stream(self, label: str) -> HmacDrbg:
-        return HmacDrbg(self._seed, personalization=label.encode("utf-8"))
+        profiler = self.profiler
+        if not profiler.enabled:
+            return HmacDrbg(self._seed, personalization=label.encode("utf-8"))
+        started = perf_counter()
+        drbg = HmacDrbg(self._seed, personalization=label.encode("utf-8"))
+        profiler.record_leaf("engine/stream", perf_counter() - started)
+        return drbg
 
     def build(self) -> None:
         """Wire the world: PKI, network, provider, TTP, tenant clients."""
@@ -401,10 +422,18 @@ class SessionPool:
             sim = self.sim
             self.network.obs = Observability(clock=lambda: sim.now)
         self._obs = self.network.obs
-        registry = KeyRegistry(self.directory.certificate_authority())
-        provider_id = self.directory.identity(self.provider_name)
-        ttp_id = self.directory.identity(self.ttp_name)
-        tenant_ids = [self.directory.identity(name) for name in self.tenant_names]
+        if self._obs.enabled and self.profiler.enabled:
+            # Seat the pool's profiler on the bundle and install the
+            # crypto observer *now*, so the enrollment signatures below
+            # are already attributed; _run_inner restores the seat.
+            self._obs.profiler = self.profiler
+            self._crypto_scope = self._obs.observe_crypto()
+            self._crypto_scope.__enter__()
+        with self.profiler.region("engine/keygen", invariant=False):
+            registry = KeyRegistry(self.directory.certificate_authority())
+            provider_id = self.directory.identity(self.provider_name)
+            ttp_id = self.directory.identity(self.ttp_name)
+            tenant_ids = [self.directory.identity(name) for name in self.tenant_names]
         for identity in (provider_id, ttp_id, *tenant_ids):
             registry.enroll(identity)
         self.provider = TpnrProvider(
@@ -500,22 +529,26 @@ class SessionPool:
         config = self.config
         assert self.sim is not None
         for index, name in self.roster:
-            workload = self._stream(f"engine/workload/{name}")
-            for k in range(config.transactions_per_tenant):
-                size = workload.randint(config.payload_min, config.payload_max)
-                payload = workload.generate(size)
-                offset = workload.random() * config.arrival_window
-                transaction_id = f"TXN-E{index:04d}-{k:03d}"
-                self._sessions[transaction_id] = SessionRecord(
-                    tenant=name,
-                    transaction_id=transaction_id,
-                    payload_size=size,
-                    started_at=offset,
-                )
-                self.sim.schedule_at(
-                    offset,
-                    lambda n=name, d=payload, t=transaction_id: self._start_upload(n, d, t),
-                )
+            # Per-tenant work is shard-invariant by construction (named
+            # streams + global indices): tenant k's draws are identical
+            # whichever shard hosts it, so counts sum exactly.
+            with self.profiler.region("engine/workload", invariant=True):
+                workload = self._stream(f"engine/workload/{name}")
+                for k in range(config.transactions_per_tenant):
+                    size = workload.randint(config.payload_min, config.payload_max)
+                    payload = workload.generate(size)
+                    offset = workload.random() * config.arrival_window
+                    transaction_id = f"TXN-E{index:04d}-{k:03d}"
+                    self._sessions[transaction_id] = SessionRecord(
+                        tenant=name,
+                        transaction_id=transaction_id,
+                        payload_size=size,
+                        started_at=offset,
+                    )
+                    self.sim.schedule_at(
+                        offset,
+                        lambda n=name, d=payload, t=transaction_id: self._start_upload(n, d, t),
+                    )
 
     def _start_upload(self, tenant: str, data: bytes, transaction_id: str) -> None:
         self._inflight += 1
@@ -600,14 +633,40 @@ class SessionPool:
         return self._run_inner(None)
 
     def _run_inner(self, bundle) -> PoolResult:
-        build_started = perf_counter()
-        self.build()
-        self._schedule_workload()
-        build_seconds = perf_counter() - build_started
-        drive_started = perf_counter()
-        self._drive()
-        batch_stats = self._settle_batches()
-        drive_seconds = perf_counter() - drive_started
+        config = self.config
+        profiler: RegionProfiler = NULL_PROFILER
+        if config.observe and config.profile:
+            # The sim clock closure reads self.sim *lazily*: the
+            # Simulator only exists once build() runs inside the first
+            # region, and pre-build region time is sim-zero anyway.
+            profiler = RegionProfiler(
+                clock=lambda: self.sim.now if self.sim is not None else 0.0)
+        self.profiler = profiler
+        try:
+            build_started = perf_counter()
+            # Harness regions are never shard-invariant (one entry per
+            # shard world).  build/settle poison their leaf scope too:
+            # enrollment signatures repeat per shard world and batch
+            # flushes depend on the shard layout.  drive's leaves stay
+            # invariant only while evidence is per-message — with
+            # batching on, auto-seals inside the drive make the inner
+            # merkle/rsa counts layout-dependent.
+            drive_scope = config.batch_size is None
+            with profiler.region("engine/build", invariant=False, scope=False):
+                self.build()
+            with profiler.region("engine/schedule", invariant=False, scope=True):
+                self._schedule_workload()
+            build_seconds = perf_counter() - build_started
+            drive_started = perf_counter()
+            with profiler.region("engine/drive", invariant=False, scope=drive_scope):
+                self._drive()
+            with profiler.region("engine/settle", invariant=False, scope=False):
+                batch_stats = self._settle_batches()
+            drive_seconds = perf_counter() - drive_started
+        finally:
+            if self._crypto_scope is not None:
+                self._crypto_scope.__exit__(None, None, None)
+                self._crypto_scope = None
         assert self.sim is not None and self.network is not None
         assert self.provider is not None and self.ttp is not None
         sends = self.network.trace.sends("tpnr.")
@@ -634,4 +693,5 @@ class SessionPool:
             alerts=list(self.monitor.alerts) if self.monitor is not None else [],
             slo=self.slos.report(self.sim.now) if self.slos is not None else None,
             batch_stats=batch_stats,
+            profile=profiler if profiler.enabled else None,
         )

@@ -55,6 +55,7 @@ from ..core.provider import HONEST, ProviderBehavior
 from ..crypto.hmac_ import hmac_digest
 from ..net.channel import PERFECT, ChannelSpec
 from ..obs import NULL_OBS
+from ..obs.profiler import RegionProfiler
 from ..obs.sketch import QuantileSketch
 from .pool import EngineConfig, PoolResult, SessionPool, TenantDirectory, _seed_bytes
 
@@ -110,6 +111,7 @@ def merge_pool_results(
     sketches: list[QuantileSketch] = []
     cache_totals: dict[str, dict[str, float]] | None = None
     batch_totals: dict[str, int] | None = None
+    profiles: list[RegionProfiler] = []
     summaries = []
     for shard_index, result in shard_results:
         sessions.extend(result.sessions)
@@ -139,6 +141,8 @@ def merge_pool_results(
                 batch_totals = {"batches": 0, "leaves": 0, "resolved": 0, "failed": 0}
             for key in batch_totals:
                 batch_totals[key] += result.batch_stats.get(key, 0)
+        if result.profile is not None:
+            profiles.append(result.profile)
         summaries.append({
             "shard": shard_index,
             "tenants": result.config.n_tenants,
@@ -146,7 +150,11 @@ def merge_pool_results(
             "completed": result.completed,
             "messages_sent": result.messages_sent,
             "sim_duration": result.sim_duration,
+            # Per-shard wall-clock accounting: drive AND build, so
+            # utilization/imbalance (skew ratio, idle fraction) is
+            # computable from the merged result without re-running.
             "drive_seconds": result.drive_seconds,
+            "build_seconds": result.build_seconds,
         })
     if cache_totals is not None:
         for bucket in cache_totals.values():
@@ -175,6 +183,11 @@ def merge_pool_results(
         slo=None,
         batch_stats=batch_totals,
         shard_summaries=summaries,
+        # The exact fold of the per-shard profilers: counts/totals sum,
+        # sketches merge bucket-wise, invariance ANDs — so the merged
+        # profile's invariant regions are byte-identical to the
+        # unsharded run's (tests/obs/test_profiler.py proves it).
+        profile=RegionProfiler.merged(profiles) if profiles else None,
     )
 
 
@@ -241,8 +254,14 @@ class ShardedSessionPool:
         # The per-shard build/drive stopwatches already sum into the
         # merged result; the merge step itself is accounted to build
         # (it is setup/teardown, not protocol driving).
-        merged.build_seconds += (
+        merge_overhead = (
             perf_counter() - merge_started
             - sum(r.build_seconds + r.drive_seconds for _, r in self.shard_results)
         )
+        merged.build_seconds += merge_overhead
+        if merged.profile is not None:
+            # The merge step exists only in sharded runs, so it can
+            # never be part of the shard-invariant artifact surface.
+            merged.profile.record_leaf(
+                "engine/merge", max(0.0, merge_overhead), invariant=False)
         return merged

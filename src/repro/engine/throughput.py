@@ -135,12 +135,15 @@ def run_pool(
     shards: int = 1,
     batch_size: int | None = None,
     key_bits: int = DEFAULT_KEY_BITS,
+    profile: bool = False,
 ) -> PoolResult:
     """One engine run at one tenant count; the low-level entry point.
 
     ``shards > 1`` routes through :class:`ShardedSessionPool` (merged
     result, signature-identical to ``shards=1``); *batch_size* switches
-    on Merkle-batched evidence.
+    on Merkle-batched evidence; *profile* attaches a
+    :class:`~repro.obs.profiler.RegionProfiler` per shard and merges
+    them exactly into ``result.profile``.
     """
     config = EngineConfig(
         n_tenants=n_tenants,
@@ -149,6 +152,7 @@ def run_pool(
         observe=observe,
         batch_size=batch_size,
         key_bits=key_bits,
+        profile=profile,
     )
     if shards > 1:
         return ShardedSessionPool(

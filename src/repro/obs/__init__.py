@@ -33,7 +33,11 @@ per-fault-class retry/escalation/latency breakdowns;
 tumbling-window aggregation; :mod:`repro.obs.slo` declares service
 objectives with error budgets and multi-window burn-rate alerting;
 :mod:`repro.obs.dashboard` renders the live ``repro slo --watch``
-view of a running campaign.
+view of a running campaign; :mod:`repro.obs.profiler` attributes cost
+to hierarchical regions on both clocks (sim + wall), extracts
+critical paths from span trees, and exports flamegraphs/profile
+JSONL (``obs.enable_profiler()`` seats it — the seat is
+:data:`~repro.obs.profiler.NULL_PROFILER` until then).
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from . import (
     forensics,
     instrument,
     metrics,
+    profiler,
     sketch,
     slo,
     span,
@@ -93,6 +98,20 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .profiler import (
+    NULL_PROFILER,
+    CriticalPath,
+    CriticalStage,
+    NullRegionProfiler,
+    RegionProfiler,
+    RegionStat,
+    campaign_critical_paths,
+    critical_path,
+    flamegraph_text,
+    profile_jsonl,
+    shard_utilization,
+    top_regions,
+)
 from .sketch import QuantileSketch, SketchAggregator, WindowSnapshot
 from .slo import (
     BurnWindow,
@@ -120,6 +139,7 @@ __all__ = [
     "forensics",
     "instrument",
     "metrics",
+    "profiler",
     "sketch",
     "slo",
     "span",
@@ -146,6 +166,18 @@ __all__ = [
     "QuantileSketch",
     "SketchAggregator",
     "WindowSnapshot",
+    "RegionProfiler",
+    "RegionStat",
+    "NullRegionProfiler",
+    "NULL_PROFILER",
+    "CriticalPath",
+    "CriticalStage",
+    "critical_path",
+    "campaign_critical_paths",
+    "shard_utilization",
+    "flamegraph_text",
+    "profile_jsonl",
+    "top_regions",
     "BurnWindow",
     "SLOSpec",
     "SLOStatus",
@@ -188,16 +220,34 @@ class Observability:
     enabled = True
 
     def __init__(self, clock=None) -> None:
+        self._clock = clock
         self.metrics = MetricsRegistry(clock)
         self.tracer = Tracer(clock)
         # The anomaly seat: detectors are attached by whoever drives
         # the deployment (pool, campaign runner); with none attached a
         # poll is a no-op, so the seat costs nothing until used.
         self.monitor = AnomalyMonitor(self.metrics, clock)
+        # The profiler seat: NULL until enable_profiler() swaps in a
+        # live RegionProfiler, so the cost model matches NULL_METRICS.
+        self.profiler = NULL_PROFILER
+
+    def enable_profiler(self, alpha: float | None = None) -> RegionProfiler:
+        """Seat a live :class:`RegionProfiler` sharing this bundle's
+        sim clock (idempotent: an already-live profiler is kept)."""
+        if not self.profiler.enabled:
+            if alpha is None:
+                self.profiler = RegionProfiler(self._clock)
+            else:
+                self.profiler = RegionProfiler(self._clock, alpha=alpha)
+        return self.profiler
 
     def observe_crypto(self):
-        """Scope crypto hot-path accounting to a ``with`` block."""
-        return observe_crypto(self.metrics)
+        """Scope crypto hot-path accounting to a ``with`` block; calls
+        feed the profiler as leaves whenever one is enabled."""
+        return observe_crypto(
+            self.metrics,
+            profiler=self.profiler if self.profiler.enabled else None,
+        )
 
     def spans_jsonl(self) -> str:
         return spans_jsonl(self.tracer)
@@ -218,9 +268,15 @@ class NullObservability(Observability):
     enabled = False
 
     def __init__(self) -> None:
+        self._clock = None
         self.metrics = NULL_METRICS
         self.tracer = NULL_TRACER
         self.monitor = AnomalyMonitor(NULL_METRICS)
+        self.profiler = NULL_PROFILER
+
+    def enable_profiler(self, alpha: float | None = None) -> RegionProfiler:
+        """Disabled observability never profiles: the seat stays NULL."""
+        return self.profiler
 
 
 NULL_OBS = NullObservability()

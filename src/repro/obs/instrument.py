@@ -1,10 +1,23 @@
 """Crypto hot-path instrumentation.
 
-:class:`CryptoObserver` counts RSA sign/verify and AEAD seal/open calls
-and accumulates their *real* wall time (``time.perf_counter``) into a
-metrics registry.  Call counts are deterministic per seed; wall times
-are not — the wall-time series are registered as non-deterministic so
+:class:`CryptoObserver` counts RSA sign/verify, AEAD seal/open, Merkle
+build/prove/verify, and batch-seal calls and accumulates their *real*
+wall time (``time.perf_counter``) into a metrics registry.  Call counts
+are deterministic per seed; wall times are not — the wall-time series
+are registered as non-deterministic so
 :meth:`MetricsRegistry.deterministic_snapshot` stays seed-stable.
+
+Two wall-time surfaces coexist for back-compat and for exactness:
+
+* ``crypto.wall_seconds`` — the original flat per-op *sum* counter;
+* ``crypto.op_wall_seconds`` — a per-op :class:`QuantileSketch` series
+  (PR 10), so crypto cost *distributions* merge exactly across shards
+  instead of only their sums.
+
+When a :class:`~repro.obs.profiler.RegionProfiler` is attached, each
+call is also recorded as a ``crypto/<op>`` leaf under whatever region
+is open — the one feed, so profiler regions and metric series never
+double-count a call.
 
 The observer is installed into the process-wide seat
 :data:`repro.crypto.instrument.observer` (a leaf module the crypto code
@@ -19,22 +32,44 @@ import contextlib
 
 from .metrics import MetricsRegistry
 
-__all__ = ["CryptoObserver", "observe_crypto", "CRYPTO_OPS"]
+__all__ = ["CryptoObserver", "observe_crypto", "CRYPTO_OPS", "COMPOSITE_OPS"]
 
-# The four instrumented operations, as reported by the hot paths.
-CRYPTO_OPS = ("rsa.sign", "rsa.verify", "aead.seal", "aead.open")
+# The instrumented operations, as reported by the hot paths.
+CRYPTO_OPS = (
+    "rsa.sign",
+    "rsa.verify",
+    "aead.seal",
+    "aead.open",
+    "merkle.build",
+    "merkle.prove",
+    "merkle.verify",
+    "batch.seal",
+)
+
+#: Ops whose reported wall time *contains* other instrumented ops
+#: (``batch.seal`` wraps ``merkle.build``/``merkle.prove``/``rsa.sign``).
+#: They keep their metric series but are not forwarded as profiler
+#: leaves — the inner ops already are, and forwarding both would count
+#: the same wall time twice in the region tree.
+COMPOSITE_OPS = frozenset({"batch.seal"})
 
 
 class CryptoObserver:
     """Accumulates crypto call counts + wall time into a registry."""
 
-    def __init__(self, metrics: MetricsRegistry) -> None:
+    def __init__(self, metrics: MetricsRegistry, profiler=None) -> None:
         self.metrics = metrics
+        self.profiler = profiler
         metrics.mark_nondeterministic("crypto.wall_seconds")
+        metrics.mark_nondeterministic("crypto.op_wall_seconds")
 
     def crypto_call(self, op: str, wall_seconds: float) -> None:
         self.metrics.counter("crypto.calls", op=op).inc()
         self.metrics.counter("crypto.wall_seconds", op=op).inc(wall_seconds)
+        self.metrics.sketch("crypto.op_wall_seconds", op=op).observe(
+            max(0.0, wall_seconds))
+        if self.profiler is not None and op not in COMPOSITE_OPS:
+            self.profiler.record_leaf("crypto/" + op, wall_seconds)
 
     def calls(self, op: str) -> float:
         return self.metrics.counter("crypto.calls", op=op).value
@@ -42,13 +77,17 @@ class CryptoObserver:
     def wall_seconds(self, op: str) -> float:
         return self.metrics.counter("crypto.wall_seconds", op=op).value
 
+    def wall_sketch(self, op: str):
+        """The per-op wall-time distribution (a QuantileSketch)."""
+        return self.metrics.sketch("crypto.op_wall_seconds", op=op)
+
 
 @contextlib.contextmanager
-def observe_crypto(metrics: MetricsRegistry):
+def observe_crypto(metrics: MetricsRegistry, profiler=None):
     """Install a :class:`CryptoObserver` for the duration of a block."""
     from ..crypto import instrument as seat  # lazy: keep obs a leaf at import time
 
-    observer = CryptoObserver(metrics)
+    observer = CryptoObserver(metrics, profiler=profiler)
     previous = seat.observer
     seat.set_observer(observer)
     try:

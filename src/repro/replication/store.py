@@ -39,6 +39,7 @@ from ..crypto.hashes import digest
 from ..crypto.hmac_ import hmac_digest
 from ..errors import NoSuchObjectError, ReproError, StorageError
 from ..obs.metrics import NULL_METRICS
+from ..obs.profiler import NULL_PROFILER
 from ..storage.azurelike import AzureLikeClient, AzureLikeService
 from ..storage.blobstore import BlobStore, ObjectStat, StoredObject
 from ..storage.gaelike import GaeLikeService
@@ -261,6 +262,9 @@ class ReplicatedStore:
         # A MetricsRegistry or the shared no-op; attach_replication
         # swaps in the deployment's live registry when observed.
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Region-profiler seat, same contract: NULL until a deployment
+        # with an enabled profiler is attached.
+        self.profiler = NULL_PROFILER
         adapters = tuple(replicas) if replicas is not None else default_replicas(seed)
         if not adapters:
             raise ReplicationError("a replicated store needs at least one replica")
@@ -376,6 +380,19 @@ class ReplicatedStore:
         at_time: float = 0.0,
     ) -> StoredObject:
         """Fan the write out; commit on a quorum of acknowledgements."""
+        with self.profiler.region("replication/put"):
+            return self._put_inner(container, key, data, content_md5,
+                                   metadata, at_time)
+
+    def _put_inner(
+        self,
+        container: str,
+        key: str,
+        data: bytes,
+        content_md5: bytes | None,
+        metadata: dict[str, str] | None,
+        at_time: float,
+    ) -> StoredObject:
         if not container or not key:
             raise StorageError("container and key must be non-empty")
         data = bytes(data)
@@ -424,6 +441,10 @@ class ReplicatedStore:
         """Serve a *verified* copy: probe in rank order, hedge past any
         replica whose attestation the verifier rejects, then repair the
         stragglers with the quorum copy."""
+        with self.profiler.region("replication/get"):
+            return self._get_inner(container, key)
+
+    def _get_inner(self, container: str, key: str) -> StoredObject:
         latest = self.verifier.latest(container, key)
         if latest is None:
             raise NoSuchObjectError(f"{container}/{key} does not exist")
@@ -444,8 +465,9 @@ class ReplicatedStore:
                     self.verifier.check_missing(name, container, key))
                 repair.append(name)
                 continue
-            attestation = handle.attest(container, key, payload)
-            finding = self.verifier.check_read(attestation)
+            with self.profiler.region("replication/attest-verify"):
+                attestation = handle.attest(container, key, payload)
+                finding = self.verifier.check_read(attestation)
             if finding is None:
                 if attempts > 1:
                     self.hedged_reads += 1
@@ -662,6 +684,7 @@ def attach_replication(deployment, store: ReplicatedStore) -> ReplicatedStore:
     store.clock = lambda: deployment.sim.now
     if getattr(deployment.obs, "enabled", False):
         store.metrics = deployment.obs.metrics
+        store.profiler = deployment.obs.profiler
     deployment.provider.store = store
     deployment.replication = store
     return store

@@ -14,7 +14,12 @@ fail-closed benchmark gating:
 * :mod:`~repro.scenarios.gate` — the promotion gate: a
   ``BENCH_PERF.json`` point is accepted only with a matching run_key,
   a correctly derived seed, and passing invariance checks — anything
-  else raises :class:`PromotionError`.
+  else raises :class:`PromotionError`;
+* :mod:`~repro.scenarios.sentinel` — the perf-regression sentinel:
+  before a gated point lands, its throughput series are compared
+  against the best prior point of the same series and a drop beyond
+  tolerance raises :class:`RegressionError` (fail-closed, like the
+  gate).
 
 CLI: ``python -m repro scenario list|describe|run|gate``.
 """
@@ -38,6 +43,12 @@ from .registry import (
     runner_defaults,
 )
 from .seeds import SEED_SCHEME, derive_seed, repetition_seed, seed_matches, stage_seed
+from .sentinel import (
+    DEFAULT_TOLERANCE,
+    RegressionError,
+    audit_trajectory,
+    check_entry,
+)
 from .spec import CANON_SCHEME, ScenarioSpec, canonical_json, canonical_spec, compute_run_key
 
 __all__ = [
@@ -57,6 +68,10 @@ __all__ = [
     "ScenarioRegistry",
     "canonical_result_json",
     "runner_defaults",
+    "DEFAULT_TOLERANCE",
+    "RegressionError",
+    "audit_trajectory",
+    "check_entry",
     "SEED_SCHEME",
     "derive_seed",
     "repetition_seed",

@@ -167,22 +167,39 @@ def _dump(path: pathlib.Path, entries: list[dict[str, Any]]) -> None:
 
 
 def promote(path: pathlib.Path, entry: dict[str, Any],
-            registry: ScenarioRegistry = DEFAULT_REGISTRY) -> pathlib.Path:
+            registry: ScenarioRegistry = DEFAULT_REGISTRY,
+            tolerance: float | None = None) -> pathlib.Path:
     """Validate *entry* (fail-closed) and write it to the trajectory.
 
     The file keeps one point per ``(experiment_id, repo_version)``:
     re-benching the same version replaces its point, so the list reads
     as the repo's perf history over releases.
+
+    Eligibility is necessary but not sufficient: after the identity
+    checks, the perf-regression sentinel compares every throughput
+    series the entry carries against the best prior point on the
+    existing trajectory and raises
+    :class:`~repro.scenarios.sentinel.RegressionError` on a drop beyond
+    *tolerance* (default :data:`~repro.scenarios.sentinel.
+    DEFAULT_TOLERANCE`) — a regressed point never lands silently.
     """
+    # Imported here: sentinel imports this module's helpers.
+    from .sentinel import check_entry
+
     report = validate_entry(entry, registry)
     if report["status"] != "accepted":
         raise PromotionError(
             f"{entry.get('experiment_id')}: only gated points may be "
             "promoted; legacy entries are grandfathered in place, never added")
     path = pathlib.Path(path)
+    existing = _load(path)
+    if tolerance is None:
+        check_entry(entry, existing)
+    else:
+        check_entry(entry, existing, tolerance)
     key = (entry.get("experiment_id"), entry.get("repo_version"))
     entries = [
-        e for e in _load(path)
+        e for e in existing
         if (e.get("experiment_id"), e.get("repo_version")) != key
     ]
     stored = dict(entry)

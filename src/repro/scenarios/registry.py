@@ -18,9 +18,9 @@ The registry is what turns a spec into a run:
   (sorted keys, nondeterministic meta stripped) — the form the
   cross-seed determinism tests compare.
 
-``DEFAULT_REGISTRY`` registers all twenty-three experiments; the nine
-campaign/engine scenarios (FC1, CR1, OB1, OB2, OB3, TP1, TP2, RP1, RP2) carry the
-richer specs (workload knobs, stages, invariance contracts).
+``DEFAULT_REGISTRY`` registers all twenty-four experiments; the ten
+campaign/engine scenarios (FC1, CR1, OB1, OB2, OB3, OB4, TP1, TP2, RP1, RP2)
+carry the richer specs (workload knobs, stages, invariance contracts).
 """
 
 from __future__ import annotations
@@ -285,6 +285,16 @@ def _default_specs() -> list[ScenarioSpec]:
                      stages=("perf", "perf-10k"),
                      invariance={"perf": ("shard_signature_invariant_1_2_4_8",)},
                      nondeterministic_meta=("wall_tx_per_sec",)),
+        ScenarioSpec("OB4", "extension — deterministic profiler + critical path "
+                     "+ regression sentinel",
+                     "experiment_profiler", "exp/ob4",
+                     stages=("overhead",),
+                     invariance={"overhead": (
+                         "profile_artifacts_shard_invariant_1_2_4_8",
+                         "critical_path_reconciles",
+                     )},
+                     nondeterministic_meta=("shard_utilization",
+                                            "wall_tx_per_sec")),
         ScenarioSpec("RP1", "extension — replicated-store divergence campaign",
                      "experiment_replication", "exp/rp1",
                      workload={"n_plans": 60},

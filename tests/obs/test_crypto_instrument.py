@@ -66,7 +66,10 @@ class TestAccounting:
         assert "crypto.wall_seconds" in {m["name"] for m in reg.snapshot()}
 
     def test_crypto_ops_enumerates_the_instrumented_surface(self):
-        assert set(CRYPTO_OPS) == {"rsa.sign", "rsa.verify", "aead.seal", "aead.open"}
+        assert set(CRYPTO_OPS) == {
+            "rsa.sign", "rsa.verify", "aead.seal", "aead.open",
+            "merkle.build", "merkle.prove", "merkle.verify", "batch.seal",
+        }
 
     def test_observer_records_arbitrary_op(self):
         reg = MetricsRegistry()

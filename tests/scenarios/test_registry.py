@@ -22,7 +22,7 @@ def test_all_cli_experiments_are_registered():
     from repro.cli import EXPERIMENTS
 
     assert set(EXPERIMENTS) == set(SCENARIOS.ids())
-    assert len(SCENARIOS) == 23
+    assert len(SCENARIOS) == 24
 
 
 @pytest.mark.parametrize("scenario_id,root,workload,stages", [

@@ -1,0 +1,199 @@
+"""The perf-regression sentinel (PR 10 / OB4).
+
+Acceptance criteria exercised here: the sentinel accepts the committed
+``benchmarks/results/BENCH_PERF.json`` trajectory as-is, rejects an
+injected 20% degraded point (both in memory and via the committed
+fixture), exempts legacy pre-gate entries, and runs inside the
+promotion gate so a regressed point can never land on the file.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import (
+    DEFAULT_TOLERANCE,
+    RegressionError,
+    SCENARIOS,
+    audit_trajectory,
+    check_entry,
+    promote,
+)
+from repro.scenarios.sentinel import best_prior, extract_series
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def entry(version: str, tx: float, *, coords=None, legacy=False) -> dict:
+    coords = coords if coords is not None else {"tenants": 100}
+    e = {
+        "experiment_id": "TPX",
+        "stage": "perf",
+        "repo_version": version,
+        "samples": [dict(coords, tx_per_sec=tx)],
+    }
+    if not legacy:
+        e["run_key"] = "k"
+    return e
+
+
+class TestExtractSeries:
+    def test_samples_keyed_by_coords(self):
+        series = extract_series({
+            "experiment_id": "TP2", "stage": "perf",
+            "samples": [
+                {"tenants": 100, "shards": 2, "tx_per_sec": 10.0},
+                {"tenants": 100, "shards": 8, "tx_per_sec": 40.0},
+                {"tenants": 100, "shards": 8, "note": "no throughput"},
+            ],
+        })
+        assert series == {
+            ("TP2", "perf", "sample", (("tenants", 100), ("shards", 2))): 10.0,
+            ("TP2", "perf", "sample", (("tenants", 100), ("shards", 8))): 40.0,
+        }
+
+    def test_classic_and_baseline_blocks_are_their_own_series(self):
+        series = extract_series({
+            "experiment_id": "TP2", "stage": "perf",
+            "classic": {"tenants": 100, "tx_per_sec": 5.0},
+            "baseline": {"tx_per_sec": 2.0},
+        })
+        assert series[("TP2", "perf", "classic", (("tenants", 100),))] == 5.0
+        assert series[("TP2", "perf", "baseline", ())] == 2.0
+
+    def test_cost_benchmark_has_no_series(self):
+        assert extract_series({"experiment_id": "OB2",
+                               "reconstruction_ms_per_transaction": 0.6}) == {}
+
+
+class TestBestPrior:
+    KEY = ("TPX", "perf", "sample", (("tenants", 100),))
+
+    def test_max_over_strictly_lower_versions(self):
+        prior = [entry("1.1.0", 50.0), entry("1.2.0", 90.0),
+                 entry("1.3.0", 70.0)]
+        assert best_prior(self.KEY, prior, (1, 4, 0)) == 90.0
+        # Same version is not prior: re-benching must not race itself.
+        assert best_prior(self.KEY, prior, (1, 2, 0)) == 50.0
+
+    def test_legacy_entries_are_invisible(self):
+        assert best_prior(self.KEY, [entry("1.0.0", 99.0, legacy=True)],
+                          (1, 5, 0)) is None
+
+
+class TestCheckEntry:
+    def test_no_history_is_ok(self):
+        reports = check_entry(entry("1.5.0", 10.0), [])
+        assert [r["status"] for r in reports] == ["no-history"]
+
+    def test_within_tolerance_accepted(self):
+        reports = check_entry(entry("1.5.0", 86.0), [entry("1.4.0", 100.0)])
+        assert reports[0]["status"] == "ok"
+        assert reports[0]["best_prior"] == 100.0
+
+    def test_drop_beyond_tolerance_raises(self):
+        with pytest.raises(RegressionError, match="20.0% below"):
+            check_entry(entry("1.5.0", 80.0), [entry("1.4.0", 100.0)])
+
+    def test_improvement_accepted(self):
+        reports = check_entry(entry("1.5.0", 150.0), [entry("1.4.0", 100.0)])
+        assert reports[0]["status"] == "ok"
+
+    def test_different_coords_are_different_series(self):
+        prior = [entry("1.4.0", 100.0, coords={"tenants": 100})]
+        new = entry("1.5.0", 10.0, coords={"tenants": 1})
+        assert check_entry(new, prior)[0]["status"] == "no-history"
+
+    def test_legacy_entry_exempt(self):
+        reports = check_entry(entry("1.0.0", 1.0, legacy=True),
+                              [entry("0.9.0", 100.0, legacy=True)])
+        assert reports[0]["status"] == "legacy-exempt"
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            check_entry(entry("1.5.0", 10.0), [], tolerance=1.0)
+        with pytest.raises(ValueError):
+            check_entry(entry("1.5.0", 10.0), [], tolerance=-0.1)
+
+    def test_tighter_tolerance_bites(self):
+        prior = [entry("1.4.0", 100.0)]
+        assert check_entry(entry("1.5.0", 95.0), prior)[0]["status"] == "ok"
+        with pytest.raises(RegressionError):
+            check_entry(entry("1.5.0", 95.0), prior, tolerance=0.01)
+
+
+class TestAuditTrajectory:
+    def test_committed_trajectory_passes(self):
+        path = REPO_ROOT / "benchmarks" / "results" / "BENCH_PERF.json"
+        reports = audit_trajectory(path)
+        assert reports, "committed trajectory yielded no sentinel reports"
+        assert all(r["status"] in ("ok", "no-history", "legacy-exempt")
+                   for r in reports)
+
+    def test_injected_degraded_fixture_fails(self):
+        with pytest.raises(RegressionError, match="20.0% below"):
+            audit_trajectory(FIXTURES / "bench_perf_regressed.json")
+
+    def test_fixture_passes_at_looser_tolerance(self):
+        reports = audit_trajectory(FIXTURES / "bench_perf_regressed.json",
+                                   tolerance=0.25)
+        assert any(r["status"] == "ok" for r in reports)
+
+    def test_order_independent_of_file_layout(self, tmp_path):
+        # Entries are re-sorted by version before replay, so a shuffled
+        # file audits the same as a chronological one.
+        shuffled = tmp_path / "shuffled.json"
+        entries = json.loads(
+            (FIXTURES / "bench_perf_regressed.json").read_text())
+        shuffled.write_text(json.dumps(list(reversed(entries))))
+        with pytest.raises(RegressionError):
+            audit_trajectory(shuffled)
+
+
+class TestGateIntegration:
+    def ob4_entry(self, tx: float) -> dict:
+        ob4 = SCENARIOS.get("OB4")
+        return ob4.perf_entry(
+            "overhead",
+            invariance={
+                "profile_artifacts_shard_invariant_1_2_4_8": True,
+                "critical_path_reconciles": True,
+            },
+            recorded_by="test_sentinel.py",
+            samples=[{"tenants": 16, "shards": 4, "tx_per_sec": tx}],
+        )
+
+    def prior_file(self, tmp_path, tx: float) -> pathlib.Path:
+        path = tmp_path / "BENCH_PERF.json"
+        path.write_text(json.dumps([{
+            "experiment_id": "OB4",
+            "stage": "overhead",
+            "repo_version": "1.4.9",
+            "run_key": "prior",
+            "samples": [{"tenants": 16, "shards": 4, "tx_per_sec": tx}],
+        }]))
+        return path
+
+    def test_promote_rejects_regressed_point(self, tmp_path):
+        path = self.prior_file(tmp_path, 100.0)
+        before = path.read_text()
+        with pytest.raises(RegressionError):
+            promote(path, self.ob4_entry(80.0))
+        assert path.read_text() == before, "rejected point must not land"
+
+    def test_promote_accepts_within_tolerance(self, tmp_path):
+        path = self.prior_file(tmp_path, 100.0)
+        promote(path, self.ob4_entry(95.0))
+        entries = json.loads(path.read_text())
+        assert len(entries) == 2
+        assert any(e.get("gate") == "accepted" for e in entries)
+
+    def test_promote_tolerance_override(self, tmp_path):
+        path = self.prior_file(tmp_path, 100.0)
+        promote(path, self.ob4_entry(80.0), tolerance=0.5)
+        assert len(json.loads(path.read_text())) == 2
+
+    def test_default_tolerance_value(self):
+        assert DEFAULT_TOLERANCE == 0.15

@@ -75,7 +75,7 @@ class TestExports:
             assert hasattr(repro, entry)
 
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
 
 class TestErrorHierarchy:
